@@ -1,0 +1,35 @@
+// Command armvirt-apps regenerates the paper's application benchmark
+// results: Figure 4 (normalized performance of nine workloads on four
+// platforms), the Table V netperf TCP_RR analysis, and the in-text
+// virtual-interrupt distribution experiment.
+//
+// Usage:
+//
+//	armvirt-apps [-tcprr] [-distributed] [-virqdist]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"armvirt/internal/bench"
+)
+
+func main() {
+	tcprrOnly := flag.Bool("tcprr", false, "print only the Table V TCP_RR analysis")
+	distributed := flag.Bool("distributed", false, "run the request-serving workloads with virtual interrupts distributed across VCPUs")
+	virqdist := flag.Bool("virqdist", false, "also print the virq-distribution experiment")
+	flag.Parse()
+
+	if *tcprrOnly {
+		fmt.Print(bench.RunTableV().Render())
+		return
+	}
+	fmt.Print(bench.RunFigure4(*distributed).Render())
+	fmt.Println()
+	fmt.Print(bench.RunTableV().Render())
+	if *virqdist {
+		fmt.Println()
+		fmt.Print(bench.RunVirqDistribution().Render())
+	}
+}

@@ -1,0 +1,117 @@
+// Command armvirt-explore runs parameter sweeps over the mechanism costs,
+// exploring the design space around the paper's findings: how the
+// hypercall cost scales with the VGIC read, how Xen's I/O latency depends
+// on the idle-domain switch, how Xen's bulk throughput depends on the
+// grant-copy cost, and how the Apache bottleneck moves with the interrupt
+// rate.
+//
+// Usage:
+//
+//	armvirt-explore -sweep vgic|idlewake|grantcopy|events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/hyp/kvm"
+	"armvirt/internal/hyp/xen"
+	"armvirt/internal/micro"
+	"armvirt/internal/platform"
+	"armvirt/internal/workload"
+)
+
+func main() {
+	sweep := flag.String("sweep", "vgic", "which sweep to run: vgic, idlewake, grantcopy, events, quantum")
+	flag.Parse()
+
+	switch *sweep {
+	case "vgic":
+		sweepVGIC()
+	case "idlewake":
+		sweepIdleWake()
+	case "grantcopy":
+		sweepGrantCopy()
+	case "events":
+		sweepEvents()
+	case "quantum":
+		sweepQuantum()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+// sweepVGIC varies the VGIC save cost and reports the KVM ARM hypercall:
+// the single register class that dominates split-mode transition cost.
+func sweepVGIC() {
+	fmt.Println("KVM ARM hypercall vs VGIC save cost (paper: 3250 -> 6500-cycle hypercall)")
+	fmt.Printf("%12s %12s\n", "vgic-save", "hypercall")
+	for _, save := range []cpu.Cycles{100, 500, 1000, 2000, 3250, 5000} {
+		cm := platform.ARMCostModel()
+		cm.SetClass(cpu.VGIC, save, cm.ClassCost(cpu.VGIC).Restore)
+		h := kvm.New(platform.ARMMachineWithCost(cm), platform.KVMARMCosts(), false)
+		fmt.Printf("%12d %12d\n", save, micro.Hypercall(h).Cycles)
+	}
+}
+
+// sweepIdleWake varies Xen's idle-domain wake cost and reports I/O
+// latency out: the paper's explanation for Xen's I/O losses.
+func sweepIdleWake() {
+	fmt.Println("Xen ARM I/O Latency Out vs idle-domain wake cost (paper: 3037 -> 16491 cycles)")
+	fmt.Printf("%12s %12s\n", "idle-wake", "io-out")
+	for _, w := range []cpu.Cycles{0, 1000, 3037, 6000, 12000} {
+		c := platform.XenARMCosts()
+		c.IdleWakeSched = w
+		h := xen.New(platform.ARMMachine(), c)
+		fmt.Printf("%12d %12d\n", w, micro.IOLatencyOut(h).Cycles)
+	}
+}
+
+// sweepGrantCopy varies the fixed grant-copy cost and reports Xen's
+// TCP_STREAM overhead: the zero-copy question of §V.
+func sweepGrantCopy() {
+	fmt.Println("Xen ARM TCP_STREAM overhead vs grant-copy fixed cost (paper: >3us -> >250% overhead)")
+	fmt.Printf("%14s %10s %10s\n", "grant-copy-us", "Gbps", "overhead")
+	pc := micro.MeasurePathCosts(func() hyp.Hypervisor {
+		return xen.New(platform.ARMMachine(), platform.XenARMCosts())
+	})
+	for _, us := range []float64{0, 0.5, 1, 2, 3, 5} {
+		prm := workload.DefaultParams()
+		prm.GrantCopyFixedUs = us
+		nat := workload.TCPStream(pc, prm, false)
+		virt := workload.TCPStream(pc, prm, true)
+		fmt.Printf("%14.1f %10.2f %10.2f\n", us, virt.Gbps, workload.Normalized(nat, virt))
+	}
+}
+
+// sweepQuantum varies the time-sharing quantum with two VMs on one core
+// and reports the efficiency loss to VM switching (Table II row 5's
+// "central cost when oversubscribing physical CPUs").
+func sweepQuantum() {
+	fmt.Println("CPU oversubscription efficiency vs scheduling quantum (2 VMs, 1 core)")
+	fmt.Printf("%12s %12s %12s\n", "quantum-us", "KVM ARM", "Xen ARM")
+	for _, q := range []float64{10, 20, 50, 100, 500, 1000} {
+		k := workload.Oversubscribe(kvm.New(platform.ARMMachine(), platform.KVMARMCosts(), false), 2, q, 40)
+		x := workload.Oversubscribe(xen.New(platform.ARMMachine(), platform.XenARMCosts()), 2, q, 40)
+		fmt.Printf("%12.0f %11.1f%% %11.1f%%\n", q, k.Efficiency*100, x.Efficiency*100)
+	}
+}
+
+// sweepEvents varies Apache's per-request interrupt count and shows where
+// the VCPU0 bottleneck kicks in, concentrated vs distributed.
+func sweepEvents() {
+	fmt.Println("Apache overhead vs interrupt events per request (KVM ARM)")
+	fmt.Printf("%8s %14s %14s\n", "events", "concentrated", "distributed")
+	pc := micro.MeasurePathCosts(func() hyp.Hypervisor {
+		return kvm.New(platform.ARMMachine(), platform.KVMARMCosts(), false)
+	})
+	for _, k := range []float64{1, 2, 4, 6, 8, 12} {
+		m := workload.Apache()
+		m.Events = k
+		fmt.Printf("%8.0f %14.2f %14.2f\n", k, m.Overhead(pc, false), m.Overhead(pc, true))
+	}
+}

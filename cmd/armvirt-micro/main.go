@@ -1,0 +1,62 @@
+// Command armvirt-micro regenerates the paper's microbenchmark results:
+// Table II across the four platforms and, with -breakdown, the Table III
+// hypercall cost attribution.
+//
+// Usage:
+//
+//	armvirt-micro [-platform "KVM ARM"] [-breakdown] [-vhe] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"armvirt/internal/bench"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "", `limit to one platform ("KVM ARM", "Xen ARM", "KVM x86", "Xen x86")`)
+	breakdown := flag.Bool("breakdown", false, "also print the Table III hypercall breakdown")
+	vhe := flag.Bool("vhe", false, "include the ARMv8.1 VHE configuration as an extra column")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	flag.Parse()
+
+	labels := bench.Platforms
+	if *platformFlag != "" {
+		if _, ok := bench.PaperTableII[*platformFlag]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown platform %q; choose one of %v\n", *platformFlag, bench.Platforms)
+			os.Exit(2)
+		}
+		labels = []string{*platformFlag}
+	}
+	if *vhe {
+		labels = append(append([]string{}, labels...), "KVM ARM (VHE)")
+	}
+
+	tableII := bench.RunTableII(labels...)
+	if *asJSON {
+		out := map[string]interface{}{"tableII": tableII.Cells}
+		if *breakdown {
+			t3 := bench.RunTableIII()
+			out["tableIII"] = map[string]interface{}{
+				"saveRestore": t3.SaveRestore,
+				"other":       t3.Other,
+				"total":       t3.Total,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(tableII.Render())
+	if *breakdown {
+		fmt.Println()
+		fmt.Print(bench.RunTableIII().Render())
+	}
+}

@@ -1,0 +1,48 @@
+// Command armvirt-report runs the complete measurement study — every
+// table, figure, in-text result, projection, extension, and model
+// validation — and prints the paper-vs-measured report. With -md it emits
+// the EXPERIMENTS.md body; with -only it runs a single experiment by ID.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armvirt/internal/core"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit Markdown (the EXPERIMENTS.md body)")
+	only := flag.String("only", "", "run a single experiment by ID (T2, T3, T5, F4, X1, F5, E1, E2, V1, R1)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-4s %-14s %s\n", e.ID, e.Kind, e.Title)
+		}
+		return
+	}
+	if *only != "" {
+		e := core.ByID(*only)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *only)
+			os.Exit(2)
+		}
+		fmt.Print(e.Run())
+		return
+	}
+	for _, e := range core.Experiments() {
+		body := e.Run()
+		if *md {
+			fmt.Printf("## %s\n\n```text\n%s```\n\n", e.Title, body)
+		} else {
+			fmt.Println(strings.Repeat("=", 100))
+			fmt.Println(e.Title)
+			fmt.Println(strings.Repeat("=", 100))
+			fmt.Println(body)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command armvirt-trace dumps the full cycle attribution of one hypervisor
+// operation on one platform — the Table III methodology applied anywhere:
+//
+//	armvirt-trace -platform "Xen ARM" -op vmswitch
+//	armvirt-trace -platform "KVM ARM" -op stage2fault
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/micro"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "KVM ARM", `platform ("KVM ARM", "Xen ARM", "KVM x86", "Xen x86", "KVM ARM (VHE)")`)
+	op := flag.String("op", "hypercall", "operation: "+strings.Join(micro.TracedOps, ", "))
+	flag.Parse()
+
+	factories := bench.Factories()
+	factory, ok := factories[*platformFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platformFlag)
+		os.Exit(2)
+	}
+	valid := false
+	for _, o := range micro.TracedOps {
+		if o == *op {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "unknown op %q; choose one of %v\n", *op, micro.TracedOps)
+		os.Exit(2)
+	}
+
+	r := micro.TraceOp(factory(), *op)
+	fmt.Printf("%s on %s: %d cycles\n\n", r.Name, *platformFlag, r.Cycles)
+	fmt.Print(r.Breakdown.String())
+}

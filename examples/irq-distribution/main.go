@@ -1,0 +1,41 @@
+// IRQ distribution: the paper's in-text experiment (§V). Apache and
+// memcached bottleneck on a single VCPU because both hypervisors deliver
+// all virtual interrupts through VCPU0; distributing them across VCPUs
+// collapses the overhead — from 35% to 14% (KVM) and 84% to 16% (Xen) on
+// Apache.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"armvirt"
+)
+
+func main() {
+	res := armvirt.VirqDistribution()
+
+	fmt.Println("Distributing virtual interrupts across VCPUs (§V in-text experiment)")
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Printf("%-12s %-10s %14s %14s\n", "Workload", "Platform", "concentrated", "distributed")
+	for _, w := range []string{"Apache", "Memcached"} {
+		for _, l := range []string{"KVM ARM", "Xen ARM"} {
+			c := res.Cells[w][l]
+			fmt.Printf("%-12s %-10s %13.0f%% %13.0f%%\n", w, l, (c[0]-1)*100, (c[1]-1)*100)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Why: delivering a virtual interrupt costs a full exit-inject-reenter on")
+	fmt.Println("the target VCPU, and both hypervisors route every device interrupt")
+	fmt.Println("through VCPU0. Under load, VCPU0 saturates on interrupt handling while")
+	fmt.Println("the other three VCPUs starve. The paper verified natively that the same")
+	fmt.Println("concentration does NOT hurt bare metal - physical IRQs are cheap enough.")
+
+	fmt.Println()
+	fmt.Println("Per-event delivery cost on each platform (the model's mechanistic input):")
+	for _, k := range []armvirt.Kind{armvirt.KVMARM, armvirt.XenARM, armvirt.KVMARMVHE} {
+		pc := armvirt.New(k).PathCosts()
+		fmt.Printf("  %-14s %6d cycles (%.2f us)\n", k, pc.VirqDeliverBusy, pc.Micros(pc.VirqDeliverBusy))
+	}
+}

@@ -1,0 +1,3 @@
+module armvirt
+
+go 1.22

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestFigure4CellMatchesFullFigure(t *testing.T) {
+	full := RunFigure4(false)
+	for _, w := range []string{"Apache", "TCP_STREAM", "TCP_RR"} {
+		for _, l := range Platforms {
+			cell := Figure4Cell(w, l, false)
+			want := full.Cells[w][l]
+			if cell.NA != want.NA {
+				t.Errorf("%s/%s NA mismatch", w, l)
+				continue
+			}
+			if !cell.NA && cell.Measured != want.Measured {
+				t.Errorf("%s/%s: cell %.3f vs figure %.3f", w, l, cell.Measured, want.Measured)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tableIEntry describes one microbenchmark (Table I) and names the module
+// implementing it here.
+type tableIEntry struct {
+	Name, Description, Implementation string
+}
+
+var tableI = []tableIEntry{
+	{"Hypercall",
+		"Transition from VM to hypervisor and return to VM without doing any work in the hypervisor. Measures bidirectional base transition cost of hypervisor operations.",
+		"micro.Hypercall over hyp/kvm + hyp/xen world switches"},
+	{"Interrupt Controller Trap",
+		"Trap from VM to emulated interrupt controller then return to VM. Measures a frequent operation for many device drivers and baseline for accessing I/O devices emulated in the hypervisor.",
+		"micro.InterruptControllerTrap over gic.DistRegs emulation"},
+	{"Virtual IPI",
+		"Issue a virtual IPI from a VCPU to another VCPU running on a different PCPU, both PCPUs executing VM code. Measures time between sending the virtual IPI until the receiving VCPU handles it, a frequent operation in multi-core OSes.",
+		"micro.VirtualIPI over gic SGIs + per-hypervisor inject paths"},
+	{"Virtual IRQ Completion",
+		"VM acknowledging and completing a virtual interrupt. Measures a frequent operation that happens for every injected virtual interrupt.",
+		"micro.VirtualIRQCompletion over gic.VirtualIface list registers (ARM) / LAPIC EOI traps (x86)"},
+	{"VM Switch",
+		"Switch from one VM to another on the same physical core. Measures a central cost when oversubscribing physical CPUs.",
+		"micro.VMSwitch over SwitchVM (full register-class context moves)"},
+	{"I/O Latency Out",
+		"Measures latency between a driver in the VM signaling the virtual I/O device in the hypervisor and the virtual I/O device receiving the signal. For KVM, this traps to the host kernel. For Xen, this traps to Xen then raises a virtual interrupt to Dom0.",
+		"micro.IOLatencyOut over KickBackend (ioeventfd / event channels + idle-domain wake)"},
+	{"I/O Latency In",
+		"Measures latency between the virtual I/O device in the hypervisor signaling the VM and the VM receiving the corresponding virtual interrupt. For KVM, this signals the VCPU thread and injects a virtual interrupt for the Virtio device. For Xen, this traps to Xen then raises a virtual interrupt to DomU.",
+		"micro.IOLatencyIn over NotifyGuest (irqfd / evtchn + VCPU wake paths)"},
+}
+
+// RenderTableI formats Table I with the implementing modules.
+func RenderTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: Microbenchmarks\n")
+	for _, e := range tableI {
+		fmt.Fprintf(&b, "\n%s\n", e.Name)
+		fmt.Fprintf(&b, "  %s\n", wrap(e.Description, 72, "  "))
+		fmt.Fprintf(&b, "  [implemented by: %s]\n", e.Implementation)
+	}
+	return b.String()
+}
+
+// tableIVEntry describes one application benchmark (Table IV).
+type tableIVEntry struct {
+	Name, Description, Model string
+}
+
+var tableIV = []tableIVEntry{
+	{"Kernbench",
+		"Compilation of the Linux 3.17.0 kernel using the allnoconfig for ARM using GCC 4.8.2.",
+		"workload.Kernbench (timer-tick + residual model; validated by workload.TickSim)"},
+	{"Hackbench",
+		"hackbench using Unix domain sockets and 100 process groups running with 500 loops.",
+		"workload.Hackbench (IPI-dominated model; validated by workload.HackSim)"},
+	{"SPECjvm2008",
+		"SPECjvm2008 benchmark running several real life applications and benchmarks specifically chosen to benchmark the performance of the Java Runtime Environment; 15.02 Linaro AArch64 OpenJDK.",
+		"workload.SPECjvm2008 (geometric mean over workload.SPECjvmSubs)"},
+	{"Netperf",
+		"netperf v2.6.0 in three modes: TCP_RR, TCP_STREAM, and TCP_MAERTS, measuring latency and throughput.",
+		"workload.TCPRRVirt (full DES, feeds Table V); workload.TCPStream/TCPMaerts (pipeline capacity; validated by workload.StreamSim)"},
+	{"Apache",
+		"Apache v2.4.7 Web server running ApacheBench v2.3 on the remote client, measuring requests per second serving the 41 KB index file of the GCC 4.4 manual with 100 concurrent requests.",
+		"workload.Apache (VCPU0 interrupt-concentration model; validated by workload.ServeSim)"},
+	{"Memcached",
+		"memcached v1.4.14 using the memtier benchmark v1.2.3 with its default parameters.",
+		"workload.Memcached (same model, lighter requests)"},
+	{"MySQL",
+		"MySQL v14.14 (distrib 5.5.41) running SysBench v0.4.12 using the default configuration with 200 parallel transactions.",
+		"workload.MySQL (mixed CPU + moderate event model)"},
+}
+
+// RenderTableIV formats Table IV with the implementing models.
+func RenderTableIV() string {
+	var b strings.Builder
+	b.WriteString("Table IV: Application Benchmarks\n")
+	for _, e := range tableIV {
+		fmt.Fprintf(&b, "\n%s\n", e.Name)
+		fmt.Fprintf(&b, "  %s\n", wrap(e.Description, 72, "  "))
+		fmt.Fprintf(&b, "  [modeled by: %s]\n", e.Model)
+	}
+	return b.String()
+}
+
+// wrap breaks text into lines of at most width runes with the given
+// continuation indent.
+func wrap(text string, width int, indent string) string {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	line := words[0]
+	for _, w := range words[1:] {
+		if len(line)+1+len(w) > width {
+			b.WriteString(line + "\n" + indent)
+			line = w
+			continue
+		}
+		line += " " + w
+	}
+	b.WriteString(line)
+	return b.String()
+}

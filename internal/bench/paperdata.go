@@ -1,0 +1,122 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation on the simulated platforms and formats
+// paper-vs-measured comparisons. cmd/ tools, the root benchmark suite, and
+// EXPERIMENTS.md generation all drive this package.
+package bench
+
+// Platforms lists the Table II columns in paper order.
+var Platforms = []string{"KVM ARM", "Xen ARM", "KVM x86", "Xen x86"}
+
+// Micros lists the Table I/II rows in paper order.
+var Micros = []string{
+	"Hypercall",
+	"Interrupt Controller Trap",
+	"Virtual IPI",
+	"Virtual IRQ Completion",
+	"VM Switch",
+	"I/O Latency Out",
+	"I/O Latency In",
+}
+
+// PaperTableII is Table II exactly as published (cycle counts).
+var PaperTableII = map[string]map[string]float64{
+	"KVM ARM": {
+		"Hypercall": 6500, "Interrupt Controller Trap": 7370,
+		"Virtual IPI": 11557, "Virtual IRQ Completion": 71,
+		"VM Switch": 10387, "I/O Latency Out": 6024, "I/O Latency In": 13872,
+	},
+	"Xen ARM": {
+		"Hypercall": 376, "Interrupt Controller Trap": 1356,
+		"Virtual IPI": 5978, "Virtual IRQ Completion": 71,
+		"VM Switch": 8799, "I/O Latency Out": 16491, "I/O Latency In": 15650,
+	},
+	"KVM x86": {
+		"Hypercall": 1300, "Interrupt Controller Trap": 2384,
+		"Virtual IPI": 5230, "Virtual IRQ Completion": 1556,
+		"VM Switch": 4812, "I/O Latency Out": 560, "I/O Latency In": 18923,
+	},
+	"Xen x86": {
+		"Hypercall": 1228, "Interrupt Controller Trap": 1734,
+		"Virtual IPI": 5562, "Virtual IRQ Completion": 1464,
+		"VM Switch": 10534, "I/O Latency Out": 11262, "I/O Latency In": 10050,
+	},
+}
+
+// PaperTableIII is the KVM ARM hypercall breakdown (save, restore cycles).
+var PaperTableIII = map[string][2]float64{
+	"GP Regs":                 {152, 184},
+	"FP Regs":                 {282, 310},
+	"EL1 System Regs":         {230, 511},
+	"VGIC Regs":               {3250, 181},
+	"Timer Regs":              {104, 106},
+	"EL2 Config Regs":         {92, 107},
+	"EL2 Virtual Memory Regs": {92, 107},
+}
+
+// TableIIIOrder lists the register classes in paper order.
+var TableIIIOrder = []string{
+	"GP Regs", "FP Regs", "EL1 System Regs", "VGIC Regs",
+	"Timer Regs", "EL2 Config Regs", "EL2 Virtual Memory Regs",
+}
+
+// PaperTableV is the Netperf TCP_RR analysis on ARM (Table V).
+// Rows: metric name -> [native, kvm, xen]; -1 marks "not applicable".
+var PaperTableV = map[string][3]float64{
+	"Trans/s":                 {23911, 11591, 10253},
+	"Time/trans (us)":         {41.8, 86.3, 97.5},
+	"send to recv (us)":       {29.7, 29.8, 33.9},
+	"recv to send (us)":       {14.5, 53.0, 64.6},
+	"recv to VM recv (us)":    {-1, 21.1, 25.9},
+	"VM recv to VM send (us)": {-1, 16.9, 17.4},
+	"VM send to send (us)":    {-1, 15.0, 21.4},
+}
+
+// TableVOrder lists Table V's rows in paper order.
+var TableVOrder = []string{
+	"Trans/s", "Time/trans (us)", "send to recv (us)", "recv to send (us)",
+	"recv to VM recv (us)", "VM recv to VM send (us)", "VM send to send (us)",
+}
+
+// Workloads lists the Figure 4 workloads in paper order.
+var Workloads = []string{
+	"Kernbench", "Hackbench", "SPECjvm2008",
+	"TCP_RR", "TCP_STREAM", "TCP_MAERTS",
+	"Apache", "Memcached", "MySQL",
+}
+
+// NA marks a configuration the paper could not run (Xen x86 Apache crashed
+// Dom0 with a Mellanox driver bug the paper reports in §V).
+const NA = -1
+
+// PaperFigure4 is Figure 4's normalized performance (1.0 = native, higher
+// = more overhead). Values stated in the text are exact; the rest are read
+// off the published bar chart and flagged approximate below.
+var PaperFigure4 = map[string]map[string]float64{
+	"Kernbench":   {"KVM ARM": 1.03, "Xen ARM": 1.04, "KVM x86": 1.05, "Xen x86": 1.04},
+	"Hackbench":   {"KVM ARM": 1.10, "Xen ARM": 1.05, "KVM x86": 1.10, "Xen x86": 1.11},
+	"SPECjvm2008": {"KVM ARM": 1.02, "Xen ARM": 1.02, "KVM x86": 1.03, "Xen x86": 1.02},
+	"TCP_RR":      {"KVM ARM": 2.06, "Xen ARM": 2.33, "KVM x86": 1.80, "Xen x86": 1.90},
+	"TCP_STREAM":  {"KVM ARM": 1.03, "Xen ARM": 3.55, "KVM x86": 1.02, "Xen x86": 3.05},
+	"TCP_MAERTS":  {"KVM ARM": 1.05, "Xen ARM": 2.00, "KVM x86": 1.02, "Xen x86": 1.60},
+	"Apache":      {"KVM ARM": 1.35, "Xen ARM": 1.84, "KVM x86": 1.15, "Xen x86": NA},
+	"Memcached":   {"KVM ARM": 1.26, "Xen ARM": 1.32, "KVM x86": 1.15, "Xen x86": 1.35},
+	"MySQL":       {"KVM ARM": 1.07, "Xen ARM": 1.10, "KVM x86": 1.08, "Xen x86": 1.12},
+}
+
+// Figure4Exact marks cells whose paper values are stated in the text (the
+// Apache/Memcached ARM values come from the virq-distribution discussion).
+// TCP_RR's ARM ratios derive from Table V but are left approximate: Table
+// V's own per-leg measurements do not sum to its totals (29.7+14.5 = 44.2
+// vs the stated 41.8 µs), and our simulation — whose legs do sum — inherits
+// that discrepancy in the ratio.
+var Figure4Exact = map[string]map[string]bool{
+	"Apache":    {"KVM ARM": true, "Xen ARM": true},
+	"Memcached": {"KVM ARM": true, "Xen ARM": true},
+}
+
+// PaperVirqDistribution is the §V in-text experiment: overhead before and
+// after distributing virtual interrupts across VCPUs.
+var PaperVirqDistribution = map[string]map[string][2]float64{
+	"Apache":    {"KVM ARM": {1.35, 1.14}, "Xen ARM": {1.84, 1.16}},
+	"Memcached": {"KVM ARM": {1.26, 1.08}, "Xen ARM": {1.32, 1.09}},
+}

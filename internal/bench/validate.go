@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"armvirt/internal/micro"
+	"armvirt/internal/workload"
+)
+
+// ValidationRow is one model-vs-simulation comparison.
+type ValidationRow struct {
+	Name     string
+	Analytic float64
+	DES      float64
+	Unit     string
+}
+
+// DeltaPct is the relative disagreement.
+func (r ValidationRow) DeltaPct() float64 {
+	if r.Analytic == 0 {
+		return 0
+	}
+	return 100 * (r.DES - r.Analytic) / r.Analytic
+}
+
+// ValidationResult cross-checks the closed-form workload models that
+// produce Figure 4 against discrete-event simulations of the same systems.
+type ValidationResult struct {
+	Rows []ValidationRow
+}
+
+// RunValidations executes the four validations.
+func RunValidations() ValidationResult {
+	f := Factories()
+	prm := workload.DefaultParams()
+	kvmPC := micro.MeasurePathCosts(f["KVM ARM"])
+	xenPC := micro.MeasurePathCosts(f["Xen ARM"])
+	var rows []ValidationRow
+
+	// 1. Apache serving model vs the SMP serving DES.
+	a := workload.Apache()
+	rows = append(rows, ValidationRow{
+		Name:     "Apache overhead, KVM ARM concentrated",
+		Analytic: a.Overhead(kvmPC, false),
+		DES:      workload.ServeSimOverhead(a, kvmPC, false, 3000),
+		Unit:     "x native",
+	})
+	rows = append(rows, ValidationRow{
+		Name:     "Apache overhead, Xen ARM concentrated",
+		Analytic: a.Overhead(xenPC, false),
+		DES:      workload.ServeSimOverhead(a, xenPC, false, 3000),
+		Unit:     "x native",
+	})
+
+	// 2. Bulk-receive capacity model vs the pipeline DES.
+	rows = append(rows, ValidationRow{
+		Name:     "TCP_STREAM throughput, Xen ARM",
+		Analytic: workload.TCPStream(xenPC, prm, true).Gbps,
+		DES:      workload.StreamSim(workload.StreamSimConfig{Packets: 3000, Xen: true, PC: xenPC, Params: prm}),
+		Unit:     "Gbps",
+	})
+
+	// 3. Timer-tick cost vs the virtual-timer DES.
+	tick := workload.TickSim(f["KVM ARM"](), 200, 250)
+	rows = append(rows, ValidationRow{
+		Name:     "Per-tick delivery cost, KVM ARM",
+		Analytic: float64(kvmPC.VirqDeliverBusy),
+		DES:      float64(tick.ElapsedCycles-tick.ComputeCycles) / float64(tick.Ticks),
+		Unit:     "cycles",
+	})
+
+	// 4. Hackbench model vs the IPI ping-pong DES.
+	hb := workload.Hackbench()
+	rows = append(rows, ValidationRow{
+		Name:     "Hackbench overhead, KVM ARM",
+		Analytic: hb.Overhead(kvmPC),
+		DES:      workload.HackSimOverhead(f["KVM ARM"](), 50, hb.WorkUsPerIPI, hb.NativeIPIUs),
+		Unit:     "x native",
+	})
+	return ValidationResult{Rows: rows}
+}
+
+// Render formats the validation table.
+func (r ValidationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Model validation: Figure 4's closed forms vs discrete-event simulation\n")
+	fmt.Fprintf(&b, "%-42s %10s %10s %8s %10s\n", "", "analytic", "simulated", "delta", "unit")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-42s %10.2f %10.2f %+7.1f%% %10s\n",
+			row.Name, row.Analytic, row.DES, row.DeltaPct(), row.Unit)
+	}
+	return b.String()
+}

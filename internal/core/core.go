@@ -1,0 +1,111 @@
+// Package core is the paper's primary contribution made executable: the
+// measurement study itself. It registers every experiment the paper
+// reports — each table, figure, and in-text result — together with the
+// extensions and validations this reproduction adds, as a single ordered
+// registry that tools and tests enumerate.
+//
+// The hypervisor and hardware models live below (internal/hyp, internal/hw,
+// ...); the workload and microbenchmark logic beside (internal/micro,
+// internal/workload); the harness in internal/bench. This package is the
+// study's table of contents: run everything, in paper order, and render
+// paper-vs-measured.
+package core
+
+import "armvirt/internal/bench"
+
+// Kind classifies an experiment.
+type Kind int
+
+// Experiment kinds.
+const (
+	// PaperArtifact regenerates a numbered table or figure.
+	PaperArtifact Kind = iota
+	// InText regenerates a result stated in the paper's prose.
+	InText
+	// Projection regenerates a forward-looking claim (§VI's VHE).
+	Projection
+	// Extension goes beyond the paper using the same models.
+	Extension
+	// Validation cross-checks a model against a simulation.
+	Validation
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PaperArtifact:
+		return "paper artifact"
+	case InText:
+		return "in-text result"
+	case Projection:
+		return "projection"
+	case Extension:
+		return "extension"
+	case Validation:
+		return "validation"
+	}
+	return "unknown"
+}
+
+// Experiment is one entry of the study.
+type Experiment struct {
+	// ID is the short identifier used across DESIGN.md and tests.
+	ID string
+	// Title is the display heading.
+	Title string
+	// Kind classifies the entry.
+	Kind Kind
+	// Run executes the experiment and renders its report.
+	Run func() string
+}
+
+// Experiments returns the full study in paper order. Every call builds
+// fresh platforms; runs are deterministic.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"T1", "Table I — Microbenchmark Definitions", PaperArtifact,
+			bench.RenderTableI},
+		{"T2", "Table II — Microbenchmark Measurements", PaperArtifact,
+			func() string { return bench.RunTableII().Render() }},
+		{"T3", "Table III — KVM ARM Hypercall Analysis", PaperArtifact,
+			func() string { return bench.RunTableIII().Render() }},
+		{"T4", "Table IV — Application Benchmark Definitions", PaperArtifact,
+			bench.RenderTableIV},
+		{"T5", "Table V — Netperf TCP_RR Analysis on ARM", PaperArtifact,
+			func() string { return bench.RunTableV().Render() }},
+		{"F4", "Figure 4 — Application Benchmark Performance", PaperArtifact,
+			func() string { return bench.RunFigure4(false).Render() }},
+		{"X1", "In-text — Virtual Interrupt Distribution", InText,
+			func() string { return bench.RunVirqDistribution().Render() }},
+		{"F5", "Section VI — ARMv8.1 VHE Projection", Projection,
+			func() string { return bench.RunVHE().Render() }},
+		{"E1", "Extension — Block I/O Path", Extension,
+			func() string { return bench.RunDisk().Render() }},
+		{"E2", "Extension — Stage-2 Fault Warm-up", Extension,
+			func() string { return bench.RunMemory().Render() }},
+		{"V1", "Model Validation — Closed Forms vs Simulation", Validation,
+			func() string { return bench.RunValidations().Render() }},
+		{"R1", "Robustness — Calibration Sensitivity", Validation,
+			func() string { return bench.RunSensitivity(40, 0.20, 1).Render() }},
+	}
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return &e
+		}
+	}
+	return nil
+}
+
+// PaperIDs lists the IDs that correspond to the paper's own artifacts.
+func PaperIDs() []string {
+	var out []string
+	for _, e := range Experiments() {
+		if e.Kind == PaperArtifact || e.Kind == InText || e.Kind == Projection {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package cpu
+
+import "fmt"
+
+// SysReg is an ARM system register name. The catalog below covers the
+// registers that make up the context-switch classes of Table III, plus the
+// EL2 registers VHE pairs them with.
+type SysReg string
+
+// EL1 system registers (the EL1Sys class, plus the translation registers
+// §VI discusses by name).
+const (
+	SCTLR_EL1   SysReg = "SCTLR_EL1"
+	TTBR0_EL1   SysReg = "TTBR0_EL1"
+	TTBR1_EL1   SysReg = "TTBR1_EL1"
+	TCR_EL1     SysReg = "TCR_EL1"
+	ESR_EL1     SysReg = "ESR_EL1"
+	FAR_EL1     SysReg = "FAR_EL1"
+	MAIR_EL1    SysReg = "MAIR_EL1"
+	VBAR_EL1    SysReg = "VBAR_EL1"
+	CONTEXTIDR  SysReg = "CONTEXTIDR_EL1"
+	TPIDR_EL1   SysReg = "TPIDR_EL1"
+	AMAIR_EL1   SysReg = "AMAIR_EL1"
+	CNTKCTL_EL1 SysReg = "CNTKCTL_EL1"
+	PAR_EL1     SysReg = "PAR_EL1"
+	ELR_EL1     SysReg = "ELR_EL1"
+	SPSR_EL1    SysReg = "SPSR_EL1"
+	SP_EL1      SysReg = "SP_EL1"
+)
+
+// EL2 registers.
+const (
+	HCR_EL2   SysReg = "HCR_EL2"
+	VTCR_EL2  SysReg = "VTCR_EL2"
+	VTTBR_EL2 SysReg = "VTTBR_EL2"
+	TTBR0_EL2 SysReg = "TTBR0_EL2"
+	TTBR1_EL2 SysReg = "TTBR1_EL2" // exists only with VHE (ARMv8.1)
+	TCR_EL2   SysReg = "TCR_EL2"
+	VBAR_EL2  SysReg = "VBAR_EL2"
+	SCTLR_EL2 SysReg = "SCTLR_EL2"
+	ESR_EL2   SysReg = "ESR_EL2"
+	FAR_EL2   SysReg = "FAR_EL2"
+	HPFAR_EL2 SysReg = "HPFAR_EL2"
+	CNTVOFF   SysReg = "CNTVOFF_EL2"
+	CNTHCTL   SysReg = "CNTHCTL_EL2"
+)
+
+// EL1SysClass lists the registers the EL1Sys save/restore class moves —
+// what split-mode KVM must swap between host and guest because both run in
+// EL1 (§IV's second overhead source).
+func EL1SysClass() []SysReg {
+	return []SysReg{
+		SCTLR_EL1, TTBR0_EL1, TTBR1_EL1, TCR_EL1, ESR_EL1, FAR_EL1,
+		MAIR_EL1, VBAR_EL1, CONTEXTIDR, TPIDR_EL1, AMAIR_EL1,
+		CNTKCTL_EL1, PAR_EL1, ELR_EL1, SPSR_EL1, SP_EL1,
+	}
+}
+
+// vheRedirect maps each EL1 register to the EL2 register an access is
+// transparently redirected to when executing in EL2 with E2H set — §VI:
+// "accesses to EL1 registers performed in EL2 actually access EL2
+// registers, transparently rewriting register accesses". Registers without
+// an entry are unaffected.
+var vheRedirect = map[SysReg]SysReg{
+	SCTLR_EL1: SCTLR_EL2,
+	TTBR0_EL1: TTBR0_EL2,
+	TTBR1_EL1: TTBR1_EL2, // the split-VA pair that motivated TTBR1_EL2's addition
+	TCR_EL1:   TCR_EL2,
+	ESR_EL1:   ESR_EL2,
+	FAR_EL1:   FAR_EL2,
+	VBAR_EL1:  VBAR_EL2,
+}
+
+// elsuffix12 marks the new _EL12 instruction encodings VHE adds so a
+// hypervisor running in EL2 can still reach the *real* EL1 registers of
+// its guest — §VI: "mrs x1, ttbr1_el21".
+type AccessKind int
+
+// Access kinds.
+const (
+	// AccessEL1 is a normal EL1-encoded access (mrs x, ttbr1_el1).
+	AccessEL1 AccessKind = iota
+	// AccessEL12 is the VHE-added _EL12 encoding reaching the guest's
+	// EL1 register from EL2.
+	AccessEL12
+)
+
+// ResolveSysReg returns the physical register an access reaches, given the
+// encoding, the executing exception level, and the E2H state. It encodes
+// the three VHE rules of §VI:
+//
+//  1. Without E2H, EL1-encoded accesses always reach EL1 registers.
+//  2. With E2H set, EL1-encoded accesses *from EL2* reach the paired EL2
+//     register (so an unmodified OS kernel runs in EL2).
+//  3. With E2H set, the new _EL12 encodings from EL2 reach the EL1
+//     registers (so the hypervisor can manage guest state).
+func ResolveSysReg(reg SysReg, kind AccessKind, mode Mode, e2h bool) (SysReg, error) {
+	if kind == AccessEL12 {
+		if !e2h {
+			return "", fmt.Errorf("cpu: _EL12 encodings are undefined without E2H")
+		}
+		if mode != EL2 {
+			return "", fmt.Errorf("cpu: _EL12 access from %v", mode)
+		}
+		return reg, nil // reaches the true EL1 register
+	}
+	if e2h && mode == EL2 {
+		if to, ok := vheRedirect[reg]; ok {
+			return to, nil
+		}
+	}
+	return reg, nil
+}
+
+// SysRegFile is a bank of system register values for one context, used to
+// verify that world switches move the right state.
+type SysRegFile struct {
+	vals map[SysReg]uint64
+}
+
+// NewSysRegFile returns an empty register file.
+func NewSysRegFile() *SysRegFile { return &SysRegFile{vals: map[SysReg]uint64{}} }
+
+// Write sets a register value.
+func (f *SysRegFile) Write(r SysReg, v uint64) { f.vals[r] = v }
+
+// Read returns a register value (0 if never written).
+func (f *SysRegFile) Read(r SysReg) uint64 { return f.vals[r] }
+
+// SnapshotEL1 copies the EL1Sys class out (a world switch's save).
+func (f *SysRegFile) SnapshotEL1() map[SysReg]uint64 {
+	out := map[SysReg]uint64{}
+	for _, r := range EL1SysClass() {
+		out[r] = f.vals[r]
+	}
+	return out
+}
+
+// RestoreEL1 copies a snapshot back in (a world switch's restore).
+func (f *SysRegFile) RestoreEL1(snap map[SysReg]uint64) {
+	for _, r := range EL1SysClass() {
+		f.vals[r] = snap[r]
+	}
+}

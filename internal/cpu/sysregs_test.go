@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEL1ClassCoversTranslationRegisters(t *testing.T) {
+	seen := map[SysReg]bool{}
+	for _, r := range EL1SysClass() {
+		seen[r] = true
+	}
+	for _, r := range []SysReg{TTBR0_EL1, TTBR1_EL1, SCTLR_EL1, VBAR_EL1} {
+		if !seen[r] {
+			t.Errorf("EL1Sys class must include %s", r)
+		}
+	}
+}
+
+func TestNonVHEAccessesReachEL1(t *testing.T) {
+	// Rule 1: without E2H, EL1 encodings reach EL1 registers from
+	// anywhere.
+	for _, mode := range []Mode{EL1, EL2} {
+		got, err := ResolveSysReg(TTBR1_EL1, AccessEL1, mode, false)
+		if err != nil || got != TTBR1_EL1 {
+			t.Errorf("mode %v: got %s, %v", mode, got, err)
+		}
+	}
+}
+
+func TestVHERedirectsEL1EncodingsFromEL2(t *testing.T) {
+	// Rule 2 (§VI): "the software still executes the same instruction,
+	// but the hardware actually accesses the TTBR1_EL2 register."
+	got, err := ResolveSysReg(TTBR1_EL1, AccessEL1, EL2, true)
+	if err != nil || got != TTBR1_EL2 {
+		t.Fatalf("got %s, %v; want TTBR1_EL2", got, err)
+	}
+	// Guest accesses from EL1 are unaffected by E2H.
+	got, _ = ResolveSysReg(TTBR1_EL1, AccessEL1, EL1, true)
+	if got != TTBR1_EL1 {
+		t.Fatalf("guest EL1 access redirected to %s", got)
+	}
+}
+
+func TestEL12EncodingsReachGuestState(t *testing.T) {
+	// Rule 3 (§VI): "if the hypervisor wishes to access the guest's
+	// TTBR1_EL1, it will use the instruction mrs x1, ttb1_el21."
+	got, err := ResolveSysReg(TTBR1_EL1, AccessEL12, EL2, true)
+	if err != nil || got != TTBR1_EL1 {
+		t.Fatalf("got %s, %v; want the true EL1 register", got, err)
+	}
+	if _, err := ResolveSysReg(TTBR1_EL1, AccessEL12, EL2, false); err == nil {
+		t.Fatal("_EL12 without E2H must be undefined")
+	}
+	if _, err := ResolveSysReg(TTBR1_EL1, AccessEL12, EL1, true); err == nil {
+		t.Fatal("_EL12 from EL1 must fail")
+	}
+}
+
+func TestVHEHostAndGuestStateIsolation(t *testing.T) {
+	// The §VI scenario end to end: a VHE host kernel writing TTBR1_EL1
+	// (redirected to EL2) must not clobber the guest's TTBR1_EL1, which
+	// the hypervisor reads via the _EL12 encoding.
+	hw := NewSysRegFile()
+	hostVal, guestVal := uint64(0x1000), uint64(0x2000)
+	hostReg, _ := ResolveSysReg(TTBR1_EL1, AccessEL1, EL2, true)
+	hw.Write(hostReg, hostVal)
+	guestReg, _ := ResolveSysReg(TTBR1_EL1, AccessEL12, EL2, true)
+	hw.Write(guestReg, guestVal)
+	if hw.Read(TTBR1_EL2) != hostVal {
+		t.Error("host translation base lost")
+	}
+	if hw.Read(TTBR1_EL1) != guestVal {
+		t.Error("guest translation base lost")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	f := NewSysRegFile()
+	f.Write(TTBR0_EL1, 0xAAAA)
+	f.Write(VBAR_EL1, 0xBBBB)
+	snap := f.SnapshotEL1()
+	f.Write(TTBR0_EL1, 0xDEAD)
+	f.Write(VBAR_EL1, 0xBEEF)
+	f.RestoreEL1(snap)
+	if f.Read(TTBR0_EL1) != 0xAAAA || f.Read(VBAR_EL1) != 0xBBBB {
+		t.Fatal("restore lost values")
+	}
+}
+
+// Property: snapshot/restore is lossless for the whole EL1 class, and
+// restore fully overwrites any intermediate state.
+func TestSnapshotRestoreProperty(t *testing.T) {
+	regs := EL1SysClass()
+	prop := func(vals []uint64, scribble []uint64) bool {
+		f := NewSysRegFile()
+		for i, r := range regs {
+			if i < len(vals) {
+				f.Write(r, vals[i])
+			}
+		}
+		snap := f.SnapshotEL1()
+		for i, r := range regs {
+			if i < len(scribble) {
+				f.Write(r, scribble[i])
+			}
+		}
+		f.RestoreEL1(snap)
+		for i, r := range regs {
+			want := uint64(0)
+			if i < len(vals) {
+				want = vals[i]
+			}
+			if f.Read(r) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

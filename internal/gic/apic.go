@@ -1,0 +1,83 @@
+package gic
+
+import "fmt"
+
+// LAPIC is a minimal x86 local APIC model, covering what the paper's x86
+// baseline needs: IPI dispatch between CPUs, a virtual IRR the hypervisor
+// injects guest interrupts into, and the EOI path. Without vAPIC support
+// (the paper's 2015-era Xeon E5-2450), a guest EOI write traps to the
+// hypervisor — the reason Virtual IRQ Completion costs ~1,500 cycles on x86
+// versus 71 on ARM. With vAPIC (modelled for the ablation), EOI
+// virtualization is handled by hardware.
+type LAPIC struct {
+	cpu   int
+	vapic bool
+	// virtual IRR: interrupts pending for the guest on this CPU.
+	irr []IRQ
+	// inService is the vector currently being handled by the guest.
+	inService IRQ
+	active    bool
+}
+
+// NewLAPIC creates the local APIC for one CPU.
+func NewLAPIC(cpu int, vapic bool) *LAPIC {
+	return &LAPIC{cpu: cpu, vapic: vapic, inService: -1}
+}
+
+// VAPIC reports whether hardware APIC virtualization is enabled.
+func (l *LAPIC) VAPIC() bool { return l.vapic }
+
+// InjectVirtual adds a vector to the guest-visible IRR (duplicate vectors
+// collapse, as the real IRR is a bitmap).
+func (l *LAPIC) InjectVirtual(vec IRQ) {
+	for _, v := range l.irr {
+		if v == vec {
+			return
+		}
+	}
+	l.irr = append(l.irr, vec)
+}
+
+// PendingVirtual returns the lowest pending vector, or -1.
+func (l *LAPIC) PendingVirtual() IRQ {
+	if len(l.irr) == 0 {
+		return -1
+	}
+	best := l.irr[0]
+	for _, v := range l.irr[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// AckVirtual moves a pending vector to in-service (guest interrupt entry).
+func (l *LAPIC) AckVirtual(vec IRQ) {
+	for i, v := range l.irr {
+		if v == vec {
+			l.irr = append(l.irr[:i], l.irr[i+1:]...)
+			if l.active {
+				panic(fmt.Sprintf("apic%d: ack of %d while %d in service", l.cpu, vec, l.inService))
+			}
+			l.inService = vec
+			l.active = true
+			return
+		}
+	}
+	panic(fmt.Sprintf("apic%d: ack of vector %d which is not pending", l.cpu, vec))
+}
+
+// EOIVirtual completes the in-service vector. The *caller* decides the
+// cost: a trap-and-emulate round trip without vAPIC, a small hardware cost
+// with it.
+func (l *LAPIC) EOIVirtual(vec IRQ) {
+	if !l.active || l.inService != vec {
+		panic(fmt.Sprintf("apic%d: EOI of %d but in-service is %d (active=%v)", l.cpu, vec, l.inService, l.active))
+	}
+	l.active = false
+	l.inService = -1
+}
+
+// HasInService reports whether the guest is inside an interrupt handler.
+func (l *LAPIC) HasInService() bool { return l.active }

@@ -1,0 +1,197 @@
+package gic
+
+import "fmt"
+
+// Distributor register map offsets (GICv2), the interface guests program
+// and hypervisors must trap-and-emulate (the Interrupt Controller Trap
+// microbenchmark is one such access).
+const (
+	GICDCtlr      = 0x000 // distributor control
+	GICDTyper     = 0x004 // interrupt controller type (read-only)
+	GICDIidr      = 0x008 // implementer identification (read-only)
+	GICDIsenabler = 0x100 // interrupt set-enable, 32 IRQs per register
+	GICDIcenabler = 0x180 // interrupt clear-enable
+	GICDIspendr   = 0x200 // interrupt set-pending
+	GICDIcpendr   = 0x280 // interrupt clear-pending
+	GICDIpriority = 0x400 // interrupt priority, 4 IRQs per register
+	GICDItargetsr = 0x800 // interrupt CPU targets, 4 IRQs per register
+	GICDIcfgr     = 0xC00 // interrupt configuration, 16 IRQs per register
+	GICDSgir      = 0xF00 // software generated interrupt register
+)
+
+// maxIRQs is the distributor's interrupt line capacity in this model.
+const maxIRQs = 256
+
+// DistRegs is the register-level state of an emulated GIC distributor: the
+// structure a hypervisor's vgic maintains per VM and consults on every
+// trapped access. Routing of *virtual* SGIs written through GICD_SGIR is
+// delegated to the owner via the sgi callback.
+type DistRegs struct {
+	ctlrEnabled bool
+	enabled     [maxIRQs]bool
+	pending     [maxIRQs]bool
+	priority    [maxIRQs]uint8
+	targets     [maxIRQs]uint8 // CPU target bitmap per IRQ
+	cfgEdge     [maxIRQs]bool
+	nCPU        int
+	sgi         func(targetMask uint8, irq IRQ)
+}
+
+// NewDistRegs creates the register file for nCPU CPUs; sgi receives
+// software-generated interrupt requests (may be nil).
+func NewDistRegs(nCPU int, sgi func(targetMask uint8, irq IRQ)) *DistRegs {
+	d := &DistRegs{nCPU: nCPU, sgi: sgi}
+	for i := range d.targets {
+		d.targets[i] = 1 // reset: target CPU 0
+	}
+	return d
+}
+
+// Read emulates a 32-bit register read at the given offset.
+func (d *DistRegs) Read(off uint32) (uint32, error) {
+	switch {
+	case off == GICDCtlr:
+		if d.ctlrEnabled {
+			return 1, nil
+		}
+		return 0, nil
+	case off == GICDTyper:
+		// ITLinesNumber = (maxIRQs/32 - 1), CPUNumber = nCPU-1.
+		return uint32(maxIRQs/32-1) | uint32(d.nCPU-1)<<5, nil
+	case off == GICDIidr:
+		return 0x43B, nil // ARM implementer id, as real GIC-400 reports
+	case off >= GICDIsenabler && off < GICDIsenabler+maxIRQs/8:
+		return d.readBits(off-GICDIsenabler, d.enabled[:]), nil
+	case off >= GICDIcenabler && off < GICDIcenabler+maxIRQs/8:
+		return d.readBits(off-GICDIcenabler, d.enabled[:]), nil
+	case off >= GICDIspendr && off < GICDIspendr+maxIRQs/8:
+		return d.readBits(off-GICDIspendr, d.pending[:]), nil
+	case off >= GICDIcpendr && off < GICDIcpendr+maxIRQs/8:
+		return d.readBits(off-GICDIcpendr, d.pending[:]), nil
+	case off >= GICDIpriority && off < GICDIpriority+maxIRQs:
+		base := int(off-GICDIpriority) / 4 * 4
+		var v uint32
+		for i := 0; i < 4; i++ {
+			v |= uint32(d.priority[base+i]) << (8 * i)
+		}
+		return v, nil
+	case off >= GICDItargetsr && off < GICDItargetsr+maxIRQs:
+		base := int(off-GICDItargetsr) / 4 * 4
+		var v uint32
+		for i := 0; i < 4; i++ {
+			v |= uint32(d.targets[base+i]) << (8 * i)
+		}
+		return v, nil
+	case off >= GICDIcfgr && off < GICDIcfgr+maxIRQs/4:
+		base := int(off-GICDIcfgr) / 4 * 16
+		var v uint32
+		for i := 0; i < 16 && base+i < maxIRQs; i++ {
+			if d.cfgEdge[base+i] {
+				v |= 2 << (2 * i)
+			}
+		}
+		return v, nil
+	case off == GICDSgir:
+		return 0, nil // write-only
+	}
+	return 0, fmt.Errorf("gic: unimplemented distributor read at %#x", off)
+}
+
+// Write emulates a 32-bit register write.
+func (d *DistRegs) Write(off uint32, v uint32) error {
+	switch {
+	case off == GICDCtlr:
+		d.ctlrEnabled = v&1 != 0
+		return nil
+	case off == GICDTyper, off == GICDIidr:
+		return nil // read-only: writes ignored, as hardware does
+	case off >= GICDIsenabler && off < GICDIsenabler+maxIRQs/8:
+		d.setBits(off-GICDIsenabler, d.enabled[:], v, true)
+		return nil
+	case off >= GICDIcenabler && off < GICDIcenabler+maxIRQs/8:
+		d.setBits(off-GICDIcenabler, d.enabled[:], v, false)
+		return nil
+	case off >= GICDIspendr && off < GICDIspendr+maxIRQs/8:
+		d.setBits(off-GICDIspendr, d.pending[:], v, true)
+		return nil
+	case off >= GICDIcpendr && off < GICDIcpendr+maxIRQs/8:
+		d.setBits(off-GICDIcpendr, d.pending[:], v, false)
+		return nil
+	case off >= GICDIpriority && off < GICDIpriority+maxIRQs:
+		base := int(off-GICDIpriority) / 4 * 4
+		for i := 0; i < 4; i++ {
+			d.priority[base+i] = uint8(v >> (8 * i))
+		}
+		return nil
+	case off >= GICDItargetsr && off < GICDItargetsr+maxIRQs:
+		base := int(off-GICDItargetsr) / 4 * 4
+		for i := 0; i < 4; i++ {
+			d.targets[base+i] = uint8(v >> (8 * i))
+		}
+		return nil
+	case off >= GICDIcfgr && off < GICDIcfgr+maxIRQs/4:
+		base := int(off-GICDIcfgr) / 4 * 16
+		for i := 0; i < 16 && base+i < maxIRQs; i++ {
+			d.cfgEdge[base+i] = v&(2<<(2*i)) != 0
+		}
+		return nil
+	case off == GICDSgir:
+		// v[25:24] target filter, v[23:16] CPU target list, v[3:0] SGI id.
+		irq := IRQ(v & 0xF)
+		filter := (v >> 24) & 3
+		mask := uint8(v >> 16)
+		switch filter {
+		case 1: // all but self — model as all CPUs
+			mask = uint8(1<<uint(d.nCPU) - 1)
+		case 2: // self only
+			mask = 1
+		}
+		if d.sgi != nil {
+			d.sgi(mask, irq)
+		}
+		return nil
+	}
+	return fmt.Errorf("gic: unimplemented distributor write at %#x", off)
+}
+
+func (d *DistRegs) readBits(rel uint32, bits []bool) uint32 {
+	base := int(rel) * 8
+	var v uint32
+	for i := 0; i < 32 && base+i < len(bits); i++ {
+		if bits[base+i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func (d *DistRegs) setBits(rel uint32, bits []bool, v uint32, to bool) {
+	base := int(rel) * 8
+	for i := 0; i < 32 && base+i < len(bits); i++ {
+		if v&(1<<uint(i)) != 0 {
+			bits[base+i] = to
+		}
+	}
+}
+
+// Enabled reports whether an interrupt line is enabled in the emulated
+// register state.
+func (d *DistRegs) Enabled(irq IRQ) bool {
+	return int(irq) < maxIRQs && d.enabled[irq]
+}
+
+// Pending reports the emulated pending bit.
+func (d *DistRegs) Pending(irq IRQ) bool {
+	return int(irq) < maxIRQs && d.pending[irq]
+}
+
+// CtlrEnabled reports whether the distributor is globally enabled.
+func (d *DistRegs) CtlrEnabled() bool { return d.ctlrEnabled }
+
+// Targets returns the CPU target bitmap for an IRQ.
+func (d *DistRegs) Targets(irq IRQ) uint8 {
+	if int(irq) >= maxIRQs {
+		return 0
+	}
+	return d.targets[irq]
+}

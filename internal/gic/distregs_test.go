@@ -1,0 +1,178 @@
+package gic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCtlrEnableDisable(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	if v, _ := d.Read(GICDCtlr); v != 0 {
+		t.Fatal("distributor should reset disabled")
+	}
+	if err := d.Write(GICDCtlr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Read(GICDCtlr); v != 1 || !d.CtlrEnabled() {
+		t.Fatal("enable failed")
+	}
+	_ = d.Write(GICDCtlr, 0)
+	if d.CtlrEnabled() {
+		t.Fatal("disable failed")
+	}
+}
+
+func TestTyperEncodesGeometry(t *testing.T) {
+	d := NewDistRegs(8, nil)
+	v, err := d.Read(GICDTyper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := v & 0x1F; lines != 256/32-1 {
+		t.Errorf("ITLinesNumber = %d", lines)
+	}
+	if ncpu := (v >> 5) & 7; ncpu != 7 {
+		t.Errorf("CPUNumber = %d, want 7", ncpu)
+	}
+}
+
+func TestReadOnlyRegistersIgnoreWrites(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	before, _ := d.Read(GICDTyper)
+	if err := d.Write(GICDTyper, 0xFFFFFFFF); err != nil {
+		t.Fatal("write to RO register should be ignored, not error")
+	}
+	after, _ := d.Read(GICDTyper)
+	if before != after {
+		t.Fatal("TYPER changed")
+	}
+}
+
+func TestSetClearEnableBanks(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	// Enable IRQs 33 and 40: bits 1 and 8 of ISENABLER1.
+	if err := d.Write(GICDIsenabler+4, 1<<1|1<<8); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Enabled(33) || !d.Enabled(40) || d.Enabled(34) {
+		t.Fatal("enable bits wrong")
+	}
+	// Writing zeros to ISENABLER must not disable (set-only semantics).
+	_ = d.Write(GICDIsenabler+4, 0)
+	if !d.Enabled(33) {
+		t.Fatal("ISENABLER write of 0 must not clear")
+	}
+	// Clear via ICENABLER.
+	_ = d.Write(GICDIcenabler+4, 1<<1)
+	if d.Enabled(33) || !d.Enabled(40) {
+		t.Fatal("clear-enable wrong")
+	}
+	if v, _ := d.Read(GICDIsenabler + 4); v != 1<<8 {
+		t.Fatalf("readback = %#x", v)
+	}
+}
+
+func TestPendingBanks(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	_ = d.Write(GICDIspendr+8, 1) // IRQ 64
+	if !d.Pending(64) {
+		t.Fatal("set-pending failed")
+	}
+	_ = d.Write(GICDIcpendr+8, 1)
+	if d.Pending(64) {
+		t.Fatal("clear-pending failed")
+	}
+}
+
+func TestPriorityAndTargetsBytes(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	// IRQ 32..35 priorities via one 32-bit write.
+	_ = d.Write(GICDIpriority+32, 0xA0B0C0D0)
+	v, _ := d.Read(GICDIpriority + 32)
+	if v != 0xA0B0C0D0 {
+		t.Fatalf("priority readback %#x", v)
+	}
+	_ = d.Write(GICDItargetsr+32, 0x01020408)
+	if d.Targets(32) != 0x08 || d.Targets(35) != 0x01 {
+		t.Fatalf("targets: %#x %#x", d.Targets(32), d.Targets(35))
+	}
+}
+
+func TestCfgrEdgeLevel(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	_ = d.Write(GICDIcfgr+8, 2) // IRQ 32 -> edge
+	v, _ := d.Read(GICDIcfgr + 8)
+	if v&2 == 0 {
+		t.Fatal("cfgr readback")
+	}
+}
+
+func TestSGIRRouting(t *testing.T) {
+	var gotMask uint8
+	var gotIRQ IRQ
+	d := NewDistRegs(4, func(mask uint8, irq IRQ) { gotMask, gotIRQ = mask, irq })
+	// Target list filter: CPUs 1 and 2, SGI 5.
+	_ = d.Write(GICDSgir, 0<<24|uint32(0b0110)<<16|5)
+	if gotMask != 0b0110 || gotIRQ != 5 {
+		t.Fatalf("sgi mask=%#b irq=%d", gotMask, gotIRQ)
+	}
+	// Filter 1: all-but-self models as all CPUs.
+	_ = d.Write(GICDSgir, 1<<24|3)
+	if gotMask != 0b1111 {
+		t.Fatalf("broadcast mask = %#b", gotMask)
+	}
+	// Filter 2: self.
+	_ = d.Write(GICDSgir, 2<<24|7)
+	if gotMask != 1 || gotIRQ != 7 {
+		t.Fatal("self SGI wrong")
+	}
+}
+
+func TestUnimplementedOffsetsError(t *testing.T) {
+	d := NewDistRegs(4, nil)
+	if _, err := d.Read(0xFFC); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := d.Write(0xFFC, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: for any sequence of set/clear-enable writes, the enabled state
+// equals a reference bitmap.
+func TestEnableBitsProperty(t *testing.T) {
+	prop := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDistRegs(4, nil)
+		var ref [256]bool
+		for i := 0; i < int(ops); i++ {
+			bank := uint32(rng.Intn(8)) * 4
+			val := rng.Uint32()
+			if rng.Intn(2) == 0 {
+				_ = d.Write(GICDIsenabler+bank, val)
+				for b := 0; b < 32; b++ {
+					if val&(1<<uint(b)) != 0 {
+						ref[int(bank)*8+b] = true
+					}
+				}
+			} else {
+				_ = d.Write(GICDIcenabler+bank, val)
+				for b := 0; b < 32; b++ {
+					if val&(1<<uint(b)) != 0 {
+						ref[int(bank)*8+b] = false
+					}
+				}
+			}
+		}
+		for irq := 0; irq < 256; irq++ {
+			if d.Enabled(IRQ(irq)) != ref[irq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package hw assembles a simulated server: an event engine, physical CPUs
+// (each a serialized execution resource with a physical-interrupt inbox),
+// an interrupt controller (GIC on ARM, per-CPU LAPICs on x86), and the
+// Stage-2 TLB. Hypervisor packages build on top of this.
+package hw
+
+import (
+	"fmt"
+
+	"armvirt/internal/cpu"
+	"armvirt/internal/gic"
+	"armvirt/internal/mem"
+	"armvirt/internal/sim"
+)
+
+// CPU is one physical CPU of the machine: architectural state, an
+// occupancy resource serializing execution contexts, the inbox physical
+// interrupts are delivered to, and the per-CPU interrupt hardware.
+type CPU struct {
+	P   *cpu.PCPU
+	Res *sim.Resource
+	// IRQ receives physical interrupt deliveries for this CPU. Whoever
+	// currently "executes" on the CPU (a VCPU fiber, a host thread
+	// fiber) consumes them.
+	IRQ *sim.Queue[gic.Delivery]
+	// VIface is the GIC virtual CPU interface (ARM only). Its contents
+	// belong to whichever VCPU's VGIC state is currently loaded.
+	VIface *gic.VirtualIface
+	// LAPIC is the local APIC (x86 only).
+	LAPIC *gic.LAPIC
+}
+
+// Config describes a machine to build.
+type Config struct {
+	Arch cpu.Arch
+	// NCPU is the physical core count (8 for both of the paper's
+	// servers).
+	NCPU int
+	Cost *cpu.CostModel
+	// NumLRs is the GIC list-register count (ARM; default 4).
+	NumLRs int
+	// VAPIC enables hardware APIC virtualization (x86 ablation; the
+	// paper's Xeon does not have it).
+	VAPIC bool
+	// TLBCapacity sizes the Stage-2 TLB model (default 512).
+	TLBCapacity int
+}
+
+// Machine is a simulated server.
+type Machine struct {
+	Eng  *sim.Engine
+	Arch cpu.Arch
+	Cost *cpu.CostModel
+	CPUs []*CPU
+	// Dist is the GIC distributor (ARM only).
+	Dist *gic.Distributor
+	// TLB is the shared Stage-2 TLB model (VMID-tagged).
+	TLB *mem.TLB
+	// VAPIC records whether APIC virtualization is on (x86).
+	VAPIC bool
+}
+
+// New builds a machine per cfg.
+func New(cfg Config) *Machine {
+	if cfg.NCPU <= 0 {
+		panic("hw: machine needs at least one CPU")
+	}
+	if cfg.Cost == nil {
+		panic("hw: machine needs a cost model")
+	}
+	if cfg.Cost.Arch != cfg.Arch {
+		panic(fmt.Sprintf("hw: cost model is for %v, machine is %v", cfg.Cost.Arch, cfg.Arch))
+	}
+	nLR := cfg.NumLRs
+	if nLR == 0 {
+		nLR = gic.DefaultNumLRs
+	}
+	tlbCap := cfg.TLBCapacity
+	if tlbCap == 0 {
+		tlbCap = 512
+	}
+	eng := sim.NewEngine()
+	m := &Machine{
+		Eng:   eng,
+		Arch:  cfg.Arch,
+		Cost:  cfg.Cost,
+		TLB:   mem.NewTLB(tlbCap),
+		VAPIC: cfg.VAPIC,
+	}
+	for i := 0; i < cfg.NCPU; i++ {
+		c := &CPU{
+			P:   cpu.NewPCPU(cfg.Arch, i),
+			Res: sim.NewResource(eng, fmt.Sprintf("pcpu%d", i)),
+			IRQ: sim.NewQueue[gic.Delivery](eng, fmt.Sprintf("irq%d", i)),
+		}
+		if cfg.Arch == cpu.ARM {
+			c.VIface = gic.NewVirtualIface(nLR, nil)
+		} else {
+			c.LAPIC = gic.NewLAPIC(i, cfg.VAPIC)
+		}
+		m.CPUs = append(m.CPUs, c)
+	}
+	if cfg.Arch == cpu.ARM {
+		m.Dist = gic.NewDistributor(eng, cfg.NCPU, sim.Time(cfg.Cost.IPIWire), func(d gic.Delivery) {
+			m.CPUs[d.CPU].IRQ.Send(d)
+		})
+	}
+	return m
+}
+
+// NCPU returns the physical core count.
+func (m *Machine) NCPU() int { return len(m.CPUs) }
+
+// SendIPI dispatches a physical IPI from the current context to a target
+// CPU: the sender pays the dispatch cost; delivery lands in the target's
+// IRQ inbox after the wire latency. On x86 there is no distributor; the
+// LAPIC ICR path is modelled with the same send/wire costs.
+func (m *Machine) SendIPI(p *sim.Proc, to int, irq gic.IRQ) {
+	p.Sleep(sim.Time(m.Cost.IPISend))
+	if m.Arch == cpu.ARM {
+		m.Dist.SendSGI(to, irq)
+		return
+	}
+	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+		m.CPUs[to].IRQ.Send(gic.Delivery{CPU: to, IRQ: irq})
+	})
+}
+
+// RaiseDeviceIRQ injects a device (SPI) interrupt. On ARM it goes through
+// the distributor's routing; on x86 it is delivered directly to the target
+// (modelling an MSI).
+func (m *Machine) RaiseDeviceIRQ(irq gic.IRQ, target int) {
+	if m.Arch == cpu.ARM {
+		m.Dist.Enable(irq)
+		m.Dist.SetTarget(irq, target)
+		m.Dist.RaiseSPI(irq)
+		return
+	}
+	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+		m.CPUs[target].IRQ.Send(gic.Delivery{CPU: target, IRQ: irq})
+	})
+}
+
+// Micros converts a sim duration to microseconds on this machine.
+func (m *Machine) Micros(d sim.Time) float64 {
+	return m.Cost.CyclesToMicros(cpu.Cycles(d))
+}

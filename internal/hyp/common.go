@@ -1,0 +1,69 @@
+package hyp
+
+import (
+	"armvirt/internal/cpu"
+	"armvirt/internal/gic"
+	"armvirt/internal/mem"
+	"armvirt/internal/sim"
+)
+
+// TranslateDelivery maps a physical interrupt delivery arriving at a VCPU's
+// physical CPU into the virtual interrupts the hypervisor should inject:
+//
+//   - the virtual timer PPI becomes the guest's timer virq (the paper's
+//     §II: the virtual timer fires as a *physical* interrupt that the
+//     hypervisor must translate);
+//   - kick/IPI SGIs carry no payload of their own — they tell the
+//     hypervisor "software-pending state changed", so the VCPU's pending
+//     list is drained;
+//   - anything else (a device SPI routed to this VCPU, as for Xen's Dom0
+//     with direct hardware access) is passed through 1:1.
+func TranslateDelivery(v *VCPU, d gic.Delivery) []gic.IRQ {
+	switch d.IRQ {
+	case gic.IRQ(27), gic.IRQ(26): // virtual/physical timer PPI
+		return []gic.IRQ{VirqTimer}
+	case SGIKick, SGIVirtIPI, SGIResched:
+		return v.DrainSoft()
+	default:
+		return []gic.IRQ{d.IRQ}
+	}
+}
+
+// Run spawns a fiber that enters guest mode on v, executes body as guest
+// code, and exits guest mode when body returns. It is the standard way
+// benchmarks boot "a VM running our kernel driver".
+func Run(h Hypervisor, name string, v *VCPU, body func(p *sim.Proc, g *Guest)) *sim.Proc {
+	return h.Machine().Eng.Go(name, func(p *sim.Proc) {
+		h.EnterGuest(p, v)
+		body(p, &Guest{V: v})
+		h.ExitGuest(p, v)
+	})
+}
+
+// NewVMCommon builds the VM/VCPU skeleton shared by the hypervisor
+// implementations: one VCPU per pin entry, each with an empty VGIC image
+// sized to the machine's list-register count.
+func NewVMCommon(h Hypervisor, name string, vmid int, pin []int) *VM {
+	m := h.Machine()
+	vm := &VM{Name: name, VMID: vmid, Hyp: h, S2: mem.NewS2Table(vmid)}
+	if m.Arch == cpu.ARM {
+		vm.VGICDist = gic.NewDistRegs(len(pin), nil)
+	}
+	for i, pcpu := range pin {
+		if pcpu < 0 || pcpu >= m.NCPU() {
+			panic("hyp: pin target out of range")
+		}
+		c := m.CPUs[pcpu]
+		v := &VCPU{
+			VM:  vm,
+			ID:  i,
+			Ctx: cpu.ContextID{Owner: name, VCPU: i},
+			CPU: c,
+		}
+		if c.VIface != nil {
+			v.VgicImage = gic.Image{LRs: make([]gic.ListRegister, c.VIface.NumLRs())}
+		}
+		vm.VCPUs = append(vm.VCPUs, v)
+	}
+	return vm
+}

@@ -1,0 +1,206 @@
+package hyp
+
+import (
+	"armvirt/internal/cpu"
+	"armvirt/internal/gic"
+	"armvirt/internal/mem"
+	"armvirt/internal/sim"
+)
+
+// InjectVirq makes virq pending for this VCPU wherever its virtual
+// interrupt state currently lives: the physical CPU's virtual interface if
+// the VCPU is resident, the saved image otherwise (KVM writes the memory
+// copy of the VGIC state while in the host — §IV), or the LAPIC IRR on
+// x86.
+func (v *VCPU) InjectVirq(virq gic.IRQ) {
+	if v.CPU.P.Arch() == cpu.X86 {
+		v.CPU.LAPIC.InjectVirtual(virq)
+		return
+	}
+	if v.Resident {
+		v.CPU.VIface.Inject(virq)
+		return
+	}
+	// Inject into the in-memory image: collapse duplicates, prefer a
+	// free LR slot, else overflow — same semantics as the hardware.
+	for i := range v.VgicImage.LRs {
+		lr := &v.VgicImage.LRs[i]
+		if lr.State != gic.LRInvalid && lr.VirtID == virq {
+			return
+		}
+	}
+	for _, q := range v.VgicImage.Overflow {
+		if q == virq {
+			return
+		}
+	}
+	for i := range v.VgicImage.LRs {
+		if v.VgicImage.LRs[i].State == gic.LRInvalid {
+			v.VgicImage.LRs[i] = gic.ListRegister{VirtID: virq, State: gic.LRPending}
+			return
+		}
+	}
+	v.VgicImage.Overflow = append(v.VgicImage.Overflow, virq)
+}
+
+// VisiblePendingVirq returns the lowest pending virtual interrupt the guest
+// can see right now, or -1. Only meaningful while the VCPU is in guest.
+func (v *VCPU) VisiblePendingVirq() gic.IRQ {
+	if v.CPU.P.Arch() == cpu.X86 {
+		return v.CPU.LAPIC.PendingVirtual()
+	}
+	return v.CPU.VIface.PendingVirq()
+}
+
+// AckVirq transitions a pending virtual interrupt to active, as the guest's
+// interrupt entry does. On ARM this is a virtual-interface access with no
+// trap; the (small) hardware cost is accounted as part of Virtual IRQ
+// Completion, matching how Table II's 71-cycle figure covers the
+// acknowledge+complete pair.
+func (v *VCPU) AckVirq(virq gic.IRQ) {
+	if v.CPU.P.Arch() == cpu.X86 {
+		v.CPU.LAPIC.AckVirtual(virq)
+		return
+	}
+	v.CPU.VIface.Ack(virq)
+}
+
+// Guest is the surface "guest code" programs against: the microbenchmark
+// kernel driver and the workload models run as functions receiving a
+// Guest. Every method models the corresponding guest-visible operation,
+// paying whatever trap/emulation costs the VCPU's hypervisor imposes.
+type Guest struct {
+	V *VCPU
+}
+
+// Hyp returns the hypervisor running this guest.
+func (g *Guest) Hyp() Hypervisor { return g.V.VM.Hyp }
+
+// Compute burns guest CPU cycles (pure computation, no exits).
+func (g *Guest) Compute(p *sim.Proc, c cpu.Cycles) {
+	g.V.Charge(p, "guest compute", c)
+}
+
+// Hypercall performs a null hypercall round trip.
+func (g *Guest) Hypercall(p *sim.Proc) { g.Hyp().Hypercall(p, g.V) }
+
+// GICTrap accesses the emulated interrupt controller (a distributor
+// register read/write that must be trapped and emulated).
+func (g *Guest) GICTrap(p *sim.Proc) { g.Hyp().GICTrap(p, g.V) }
+
+// GICRead performs a register-level read of the emulated distributor: the
+// full trap-and-emulate round trip plus the vgic register decode.
+func (g *Guest) GICRead(p *sim.Proc, off uint32) uint32 {
+	if g.V.VM.VGICDist == nil {
+		panic("hyp: GICRead on a platform without an emulated GIC")
+	}
+	g.Hyp().GICTrap(p, g.V)
+	v, err := g.V.VM.VGICDist.Read(off)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// GICWrite performs a register-level write of the emulated distributor. A
+// write to GICD_SGIR is a virtual IPI: it is routed through the
+// hypervisor's full IPI path to each CPU in the target list.
+func (g *Guest) GICWrite(p *sim.Proc, off uint32, val uint32) {
+	vm := g.V.VM
+	if vm.VGICDist == nil {
+		panic("hyp: GICWrite on a platform without an emulated GIC")
+	}
+	if off == gic.GICDSgir {
+		irq := gic.IRQ(val & 0xF)
+		filter := (val >> 24) & 3
+		mask := uint8(val >> 16)
+		switch filter {
+		case 1: // all but self
+			for i := range vm.VCPUs {
+				if vm.VCPUs[i] != g.V {
+					mask |= 1 << uint(i)
+				}
+			}
+			mask &^= 1 << uint(g.V.ID)
+		case 2: // self
+			mask = 1 << uint(g.V.ID)
+		}
+		_ = irq // guests use SGI numbers; the model delivers VirqGuestIPI
+		for i, v := range vm.VCPUs {
+			if mask&(1<<uint(i)) != 0 {
+				g.Hyp().SendVirtIPI(p, g.V, v)
+			}
+		}
+		return
+	}
+	g.Hyp().GICTrap(p, g.V)
+	if err := vm.VGICDist.Write(off, val); err != nil {
+		panic(err)
+	}
+}
+
+// SendIPI sends a virtual IPI to another VCPU of the same VM.
+func (g *Guest) SendIPI(p *sim.Proc, target *VCPU) {
+	if target.VM != g.V.VM {
+		panic("hyp: guest IPI across VMs")
+	}
+	g.Hyp().SendVirtIPI(p, g.V, target)
+}
+
+// WaitVirq waits until a virtual interrupt is visible, acknowledges it, and
+// returns it. With spin=true the guest busy-waits in guest mode (the
+// Virtual IPI microbenchmark's receiver, which keeps "both PCPUs executing
+// VM code"); with spin=false the guest idles (WFI/HLT), so the hypervisor
+// deschedules the VCPU and the wake path is taken instead.
+func (g *Guest) WaitVirq(p *sim.Proc, spin bool) gic.IRQ {
+	v := g.V
+	h := g.Hyp()
+	for {
+		if virq := v.VisiblePendingVirq(); virq != -1 {
+			v.AckVirq(virq)
+			return virq
+		}
+		if spin {
+			d := v.CPU.IRQ.Recv(p)
+			h.HandlePhysIRQ(p, v, d)
+		} else {
+			h.BlockInGuest(p, v)
+		}
+	}
+}
+
+// Complete finishes handling of an acknowledged virtual interrupt.
+func (g *Guest) Complete(p *sim.Proc, virq gic.IRQ) {
+	g.Hyp().CompleteVirq(p, g.V, virq)
+}
+
+// KickBackend notifies the hypervisor's I/O backend (virtio kick or Xen
+// event channel).
+func (g *Guest) KickBackend(p *sim.Proc, b *Backend) {
+	g.Hyp().KickBackend(p, g.V, b)
+}
+
+// TouchPage performs a guest memory access at ipa under Stage-2
+// translation: free on a TLB hit, a hardware table walk on a miss, and a
+// full hypervisor fault round trip on first touch — after which, per §V,
+// memory virtualization "is performed largely without the hypervisor's
+// involvement".
+func (g *Guest) TouchPage(p *sim.Proc, ipa mem.IPA, write bool) {
+	v := g.V
+	m := g.Hyp().Machine()
+	tr := &mem.Translator{Table: v.VM.S2, TLB: m.TLB, WalkPerLevel: m.Cost.PageTableWalkPerLevel}
+	_, walk, err := tr.Translate(ipa, write)
+	v.Charge(p, "stage-2 walk", walk)
+	if err == nil {
+		return
+	}
+	if _, isFault := err.(*mem.FaultError); !isFault {
+		panic(err)
+	}
+	g.Hyp().Stage2Fault(p, v, ipa)
+	_, walk, err = tr.Translate(ipa, write)
+	v.Charge(p, "stage-2 walk (refill)", walk)
+	if err != nil {
+		panic("hyp: stage-2 fault handler did not establish the mapping: " + err.Error())
+	}
+}

@@ -1,0 +1,289 @@
+package hyp
+
+import (
+	"testing"
+
+	"armvirt/internal/cpu"
+	"armvirt/internal/gic"
+	"armvirt/internal/hw"
+	"armvirt/internal/mem"
+	"armvirt/internal/sim"
+)
+
+// fakeHyp is a minimal Hypervisor implementation for exercising the
+// package's own logic (Guest ops, VM construction, delivery translation)
+// without a real KVM/Xen model.
+type fakeHyp struct {
+	m     *hw.Machine
+	calls []string
+}
+
+func newFakeHyp() *fakeHyp {
+	cm := &cpu.CostModel{Arch: cpu.ARM, FreqMHz: 2400, IPISend: 10, IPIWire: 20,
+		PageTableWalkPerLevel: 30, VirqCompleteHW: 71}
+	return &fakeHyp{m: hw.New(hw.Config{Arch: cpu.ARM, NCPU: 4, Cost: cm})}
+}
+
+func (f *fakeHyp) log(s string)         { f.calls = append(f.calls, s) }
+func (f *fakeHyp) Name() string         { return "fake" }
+func (f *fakeHyp) HType() Type          { return Type2 }
+func (f *fakeHyp) Machine() *hw.Machine { return f.m }
+func (f *fakeHyp) NewVM(name string, pin []int) *VM {
+	return NewVMCommon(f, name, 1, pin)
+}
+func (f *fakeHyp) EnterGuest(p *sim.Proc, v *VCPU) {
+	f.log("enter")
+	v.InGuest = true
+	v.Resident = true
+}
+func (f *fakeHyp) ExitGuest(p *sim.Proc, v *VCPU) {
+	f.log("exit")
+	v.InGuest = false
+}
+func (f *fakeHyp) Hypercall(p *sim.Proc, v *VCPU) { f.log("hypercall"); p.Sleep(100) }
+func (f *fakeHyp) GICTrap(p *sim.Proc, v *VCPU)   { f.log("gictrap"); p.Sleep(50) }
+func (f *fakeHyp) SendVirtIPI(p *sim.Proc, v *VCPU, target *VCPU) {
+	f.log("sendipi")
+	target.PostSoft(VirqGuestIPI)
+	f.m.SendIPI(p, target.CPU.P.ID(), SGIVirtIPI)
+}
+func (f *fakeHyp) HandlePhysIRQ(p *sim.Proc, v *VCPU, d gic.Delivery) {
+	f.log("physirq")
+	for _, virq := range TranslateDelivery(v, d) {
+		v.InjectVirq(virq)
+	}
+}
+func (f *fakeHyp) BlockInGuest(p *sim.Proc, v *VCPU) {
+	f.log("block")
+	d := v.CPU.IRQ.Recv(p)
+	for _, virq := range TranslateDelivery(v, d) {
+		v.InjectVirq(virq)
+	}
+}
+func (f *fakeHyp) CompleteVirq(p *sim.Proc, v *VCPU, virq gic.IRQ) {
+	f.log("complete")
+	v.CPU.VIface.Complete(virq)
+}
+func (f *fakeHyp) SwitchVM(p *sim.Proc, from, to *VCPU) { f.log("switch") }
+func (f *fakeHyp) NotifyGuest(p *sim.Proc, from *VCPU, v *VCPU, virq gic.IRQ) {
+	f.log("notify")
+	v.PostSoft(virq)
+	f.m.SendIPI(p, v.CPU.P.ID(), SGIKick)
+}
+func (f *fakeHyp) KickBackend(p *sim.Proc, v *VCPU, b *Backend) {
+	f.log("kick")
+	b.Inbox.Send(p.Now())
+}
+func (f *fakeHyp) BackendDispatch(p *sim.Proc, b *Backend) { f.log("dispatch") }
+func (f *fakeHyp) Stage2Fault(p *sim.Proc, v *VCPU, ipa mem.IPA) {
+	f.log("fault")
+	if err := v.VM.S2.Map(ipa&^(mem.PageSize-1), 0x9000_0000, mem.PermRWX); err != nil {
+		panic(err)
+	}
+}
+
+var _ Hypervisor = (*fakeHyp)(nil)
+
+func TestNewVMCommonSkeleton(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0, 2})
+	if len(vm.VCPUs) != 2 {
+		t.Fatal("vcpu count")
+	}
+	if vm.VCPUs[1].CPU != f.m.CPUs[2] {
+		t.Fatal("pinning wrong")
+	}
+	if vm.VCPUs[0].Ctx.Owner != "vm0" || vm.VCPUs[1].Ctx.VCPU != 1 {
+		t.Fatal("context ids wrong")
+	}
+	if vm.S2 == nil || vm.VGICDist == nil {
+		t.Fatal("VM substrate missing")
+	}
+	if len(vm.VCPUs[0].VgicImage.LRs) != gic.DefaultNumLRs {
+		t.Fatal("vgic image not sized")
+	}
+	if vm.VCPUs[0].String() == "" {
+		t.Fatal("string render")
+	}
+}
+
+func TestNewVMCommonBadPinPanics(t *testing.T) {
+	f := newFakeHyp()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.NewVM("vm0", []int{9})
+}
+
+func TestRunEntersAndExits(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0})
+	ran := false
+	Run(f, "body", vm.VCPUs[0], func(p *sim.Proc, g *Guest) {
+		ran = true
+		g.Compute(p, 10)
+		g.Hypercall(p)
+		g.GICTrap(p)
+	})
+	f.m.Eng.Run()
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	want := []string{"enter", "hypercall", "gictrap", "exit"}
+	if len(f.calls) != len(want) {
+		t.Fatalf("calls = %v", f.calls)
+	}
+	for i := range want {
+		if f.calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", f.calls, want)
+		}
+	}
+}
+
+func TestGuestWaitVirqSpin(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0, 1})
+	a, b := vm.VCPUs[0], vm.VCPUs[1]
+	var got gic.IRQ = -1
+	Run(f, "receiver", b, func(p *sim.Proc, g *Guest) {
+		got = g.WaitVirq(p, true)
+		g.Complete(p, got)
+	})
+	Run(f, "sender", a, func(p *sim.Proc, g *Guest) {
+		g.SendIPI(p, b)
+	})
+	f.m.Eng.Run()
+	if got != VirqGuestIPI {
+		t.Fatalf("received %d", got)
+	}
+}
+
+func TestGuestWaitVirqBlocked(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	var got gic.IRQ = -1
+	Run(f, "guest", v, func(p *sim.Proc, g *Guest) {
+		got = g.WaitVirq(p, false)
+		g.Complete(p, got)
+	})
+	f.m.Eng.Go("notifier", func(p *sim.Proc) {
+		p.Sleep(500)
+		f.NotifyGuest(p, nil, v, VirqVirtioNet)
+	})
+	f.m.Eng.Run()
+	if got != VirqVirtioNet {
+		t.Fatalf("received %d", got)
+	}
+}
+
+func TestGuestCrossVMIPIPanics(t *testing.T) {
+	f := newFakeHyp()
+	vm1 := f.NewVM("vm1", []int{0})
+	vm2 := f.NewVM("vm2", []int{1})
+	Run(f, "guest", vm1.VCPUs[0], func(p *sim.Proc, g *Guest) {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-VM IPI should panic")
+			}
+		}()
+		g.SendIPI(p, vm2.VCPUs[0])
+	})
+	f.m.Eng.Run()
+}
+
+func TestGuestTouchPageFaultPath(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0})
+	Run(f, "guest", vm.VCPUs[0], func(p *sim.Proc, g *Guest) {
+		g.TouchPage(p, 0x7000_0000, true) // cold: fault path
+		g.TouchPage(p, 0x7000_0000, false)
+	})
+	f.m.Eng.Run()
+	found := false
+	for _, c := range f.calls {
+		if c == "fault" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cold touch must invoke the fault handler")
+	}
+	if _, _, ok := vm.S2.Lookup(0x7000_0000); !ok {
+		t.Fatal("mapping missing after fault")
+	}
+}
+
+func TestGuestGICRegisterOps(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0, 1})
+	a, b := vm.VCPUs[0], vm.VCPUs[1]
+	var got gic.IRQ = -1
+	Run(f, "receiver", b, func(p *sim.Proc, g *Guest) {
+		got = g.WaitVirq(p, true)
+		g.Complete(p, got)
+	})
+	Run(f, "sender", a, func(p *sim.Proc, g *Guest) {
+		g.GICWrite(p, gic.GICDCtlr, 1)
+		if v := g.GICRead(p, gic.GICDCtlr); v != 1 {
+			t.Errorf("ctlr readback = %d", v)
+		}
+		g.GICWrite(p, gic.GICDSgir, uint32(0b10)<<16|5) // SGI to vcpu1
+	})
+	f.m.Eng.Run()
+	if got != VirqGuestIPI {
+		t.Fatalf("SGIR write did not deliver an IPI (got %d)", got)
+	}
+}
+
+func TestInjectVirqImageOverflow(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	// Not resident: injections land in the image; beyond the LR count
+	// they overflow, duplicates collapse.
+	for i := 0; i < 8; i++ {
+		v.InjectVirq(gic.IRQ(32 + i))
+	}
+	v.InjectVirq(32) // duplicate in LRs
+	v.InjectVirq(36) // duplicate in overflow
+	used := 0
+	for _, lr := range v.VgicImage.LRs {
+		if lr.State != gic.LRInvalid {
+			used++
+		}
+	}
+	if used != gic.DefaultNumLRs {
+		t.Fatalf("LRs used = %d", used)
+	}
+	if len(v.VgicImage.Overflow) != 4 {
+		t.Fatalf("overflow = %v", v.VgicImage.Overflow)
+	}
+}
+
+func TestBackendConstruction(t *testing.T) {
+	f := newFakeHyp()
+	b := NewBackend(f.m.Eng, "vhost", f.m.CPUs[3])
+	if b.Name != "vhost" || b.CPU != f.m.CPUs[3] || b.Inbox == nil {
+		t.Fatal("backend misbuilt")
+	}
+}
+
+func TestChargeRecordsAndSleeps(t *testing.T) {
+	f := newFakeHyp()
+	vm := f.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	var elapsed sim.Time
+	f.m.Eng.Go("t", func(p *sim.Proc) {
+		t0 := p.Now()
+		v.Charge(p, "work", 123)
+		v.Charge(p, "nothing", 0) // no-op
+		elapsed = p.Now() - t0
+	})
+	f.m.Eng.Run()
+	if elapsed != 123 {
+		t.Fatalf("elapsed = %d", elapsed)
+	}
+}

@@ -1,0 +1,85 @@
+package hyp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"armvirt/internal/gic"
+)
+
+func TestTypeStrings(t *testing.T) {
+	if Type1.String() != "Type 1" || Type2.String() != "Type 2" {
+		t.Fatal("type strings wrong")
+	}
+}
+
+func TestPostSoftDeduplicates(t *testing.T) {
+	v := &VCPU{}
+	v.PostSoft(40)
+	v.PostSoft(41)
+	v.PostSoft(40)
+	if len(v.PendingSoft) != 2 {
+		t.Fatalf("pending = %v", v.PendingSoft)
+	}
+	got := v.DrainSoft()
+	if len(got) != 2 || got[0] != 40 || got[1] != 41 {
+		t.Fatalf("drained = %v", got)
+	}
+	if v.PendingSoft != nil {
+		t.Fatal("drain should empty the list")
+	}
+}
+
+func TestTranslateDelivery(t *testing.T) {
+	v := &VCPU{}
+	// Timer PPIs become the guest timer virq.
+	for _, irq := range []gic.IRQ{26, 27} {
+		out := TranslateDelivery(v, gic.Delivery{IRQ: irq})
+		if len(out) != 1 || out[0] != VirqTimer {
+			t.Errorf("timer PPI %d -> %v", irq, out)
+		}
+	}
+	// Kick SGIs drain the soft-pending list.
+	v.PostSoft(40)
+	v.PostSoft(48)
+	out := TranslateDelivery(v, gic.Delivery{IRQ: SGIKick})
+	if len(out) != 2 {
+		t.Errorf("kick -> %v", out)
+	}
+	// Device SPIs pass through.
+	out = TranslateDelivery(v, gic.Delivery{IRQ: NICSpi})
+	if len(out) != 1 || out[0] != NICSpi {
+		t.Errorf("SPI -> %v", out)
+	}
+}
+
+// Property: PostSoft never stores duplicates and DrainSoft returns each
+// posted virq exactly once in post order.
+func TestPostDrainProperty(t *testing.T) {
+	prop := func(posts []uint8) bool {
+		v := &VCPU{}
+		want := map[gic.IRQ]bool{}
+		var order []gic.IRQ
+		for _, p := range posts {
+			virq := gic.IRQ(p % 8)
+			if !want[virq] {
+				want[virq] = true
+				order = append(order, virq)
+			}
+			v.PostSoft(virq)
+		}
+		got := v.DrainSoft()
+		if len(got) != len(order) {
+			return false
+		}
+		for i := range got {
+			if got[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

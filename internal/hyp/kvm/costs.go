@@ -1,0 +1,79 @@
+// Package kvm models the KVM hypervisor in its three configurations: the
+// split-mode ARM design the paper measures (§II, Figure 3), the same design
+// on x86 where KVM runs entirely in root mode, and the ARMv8.1 VHE design
+// of §VI where the host kernel runs in EL2 and VM exits no longer context
+// switch EL1 state.
+package kvm
+
+import "armvirt/internal/cpu"
+
+// Costs is the table of KVM *software* path costs: handler and emulation
+// work, host-kernel scheduling, and the signaling residuals. Hardware
+// primitive costs come from the machine's cpu.CostModel. The calibrated
+// values for the paper's two servers live in internal/platform.
+type Costs struct {
+	// HostHandler is the null-hypercall handling cost in the host
+	// kernel (ARM) or root-mode KVM (x86).
+	HostHandler cpu.Cycles
+	// MMIODecode is the EL2-side fault-syndrome decode before an MMIO
+	// exit is routed (ARM).
+	MMIODecode cpu.Cycles
+	// HostCtxSave/HostCtxRestore move the host's own minimal EL1
+	// context (GP + EL1 system state the host needs) during split-mode
+	// world switches.
+	HostCtxSave    cpu.Cycles
+	HostCtxRestore cpu.Cycles
+	// GICDistEmulate is the software emulation of one distributor
+	// access (KVM's vgic runs in the host kernel — §IV).
+	GICDistEmulate cpu.Cycles
+	// SGIEmulate is the emulation of a guest SGI (virtual IPI) write:
+	// resolve targets, mark pending in the software distributor.
+	SGIEmulate cpu.Cycles
+	// PhysIRQAck is the host acknowledging + EOIing a physical
+	// interrupt at the GIC/APIC.
+	PhysIRQAck cpu.Cycles
+	// VirqInject programs one pending virtual interrupt (list register
+	// image write / IRR update).
+	VirqInject cpu.Cycles
+	// GuestIRQEntry is the guest-side interrupt vectoring cost after a
+	// virtual interrupt becomes visible.
+	GuestIRQEntry cpu.Cycles
+	// HostSchedSwitch is a host-kernel thread context switch (QEMU VCPU
+	// thread to VCPU thread for the VM Switch benchmark; thread wake in
+	// the I/O paths).
+	HostSchedSwitch cpu.Cycles
+	// BlockVCPU is the host-side cost of descheduling a VCPU thread on
+	// guest WFI/HLT.
+	BlockVCPU cpu.Cycles
+	// VCPUWake is the host IRQ-entry plus scheduler cost of waking a
+	// blocked VCPU thread when a kick arrives.
+	VCPUWake cpu.Cycles
+	// EOIEmulate is the x86 trap-and-emulate EOI cost (no vAPIC).
+	EOIEmulate cpu.Cycles
+	// APICAccess is the x86 emulated APIC register access (the
+	// Interrupt Controller Trap benchmark).
+	APICAccess cpu.Cycles
+	// Ioeventfd is the host-side ioeventfd signal on a virtio kick
+	// (I/O Latency Out), excluding the world switch itself.
+	Ioeventfd cpu.Cycles
+	// KickNeedsIPI is true when the vhost worker must be woken with a
+	// resched IPI (ARM measurement); false when the eventfd wake lands
+	// on a hot worker (x86 measurement, where Table II's I/O Latency
+	// Out is barely more than the exit cost).
+	KickNeedsIPI bool
+	// BackendWake is the backend CPU's cost from IPI receipt to the
+	// vhost worker running (host IRQ entry + softirq + thread wake).
+	// Calibrated residual: the paper does not decompose this leg.
+	BackendWake cpu.Cycles
+	// Irqfd is the vhost-side irqfd write + vgic update when notifying
+	// the guest (I/O Latency In), excluding the kick IPI.
+	Irqfd cpu.Cycles
+	// NotifyResidual is the remaining calibrated cost of the
+	// backend-to-guest notification path (eventfd wakeups, softirq
+	// processing) that Table II's I/O Latency In measures but does not
+	// decompose.
+	NotifyResidual cpu.Cycles
+	// FaultWork is the host-side Stage-2 fault handling: page
+	// allocation, get_user_pages, table installation.
+	FaultWork cpu.Cycles
+}

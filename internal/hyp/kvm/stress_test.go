@@ -1,0 +1,176 @@
+package kvm_test
+
+import (
+	"testing"
+
+	"armvirt/internal/gic"
+	"armvirt/internal/hyp"
+	"armvirt/internal/platform"
+	"armvirt/internal/sim"
+)
+
+// TestLROverflowStorm floods a VCPU with more pending virtual interrupts
+// than the GIC has list registers (4): the surplus must spill to the
+// software overflow queue and be promoted as the guest completes earlier
+// ones — the maintenance path real vgics rely on. Every interrupt must be
+// delivered exactly once.
+func TestLROverflowStorm(t *testing.T) {
+	pl := platform.NewKVMARM()
+	h := pl.KVM
+	vm := h.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	eng := h.Machine().Eng
+
+	const n = 10
+	received := map[gic.IRQ]int{}
+	hyp.Run(h, "guest", v, func(p *sim.Proc, g *hyp.Guest) {
+		for count := 0; count < n; {
+			virq := g.WaitVirq(p, true)
+			received[virq]++
+			count++
+			g.Complete(p, virq)
+		}
+	})
+	eng.Go("storm", func(p *sim.Proc) {
+		p.Sleep(5000)
+		for i := 0; i < n; i++ {
+			v.PostSoft(gic.IRQ(32 + i))
+		}
+		h.Machine().SendIPI(p, 0, hyp.SGIKick)
+	})
+	eng.Run()
+	if len(received) != n {
+		t.Fatalf("received %d distinct virqs, want %d: %v", len(received), n, received)
+	}
+	for virq, count := range received {
+		if count != 1 {
+			t.Errorf("virq %d delivered %d times", virq, count)
+		}
+	}
+	if v.CPU.VIface.HasPendingOrActive() {
+		t.Error("interface should be drained")
+	}
+}
+
+// TestInterruptStormUnderWorldSwitches interleaves a virq storm with
+// hypercalls: the VGIC image must move through save/restore cycles without
+// losing or duplicating interrupts.
+func TestInterruptStormUnderWorldSwitches(t *testing.T) {
+	pl := platform.NewKVMARM()
+	h := pl.KVM
+	vm := h.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	eng := h.Machine().Eng
+
+	const rounds = 20
+	delivered := 0
+	hyp.Run(h, "guest", v, func(p *sim.Proc, g *hyp.Guest) {
+		for i := 0; i < rounds; i++ {
+			g.Hypercall(p) // full VGIC save/restore round trip
+			virq := g.WaitVirq(p, true)
+			delivered++
+			g.Complete(p, virq)
+			g.Hypercall(p)
+		}
+	})
+	eng.Go("injector", func(p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Sleep(40000)
+			v.PostSoft(hyp.VirqVirtioNet)
+			h.Machine().SendIPI(p, 0, hyp.SGIKick)
+		}
+	})
+	eng.Run()
+	if delivered != rounds {
+		t.Fatalf("delivered %d, want %d", delivered, rounds)
+	}
+}
+
+// TestManyVMsOnOneCore stress-tests VM switching: 6 VMs round-robin on one
+// physical CPU, with residency invariants checked by the cpu package on
+// every switch.
+func TestManyVMsOnOneCore(t *testing.T) {
+	pl := platform.NewKVMARM()
+	h := pl.KVM
+	const nvm = 6
+	var vcpus []*hyp.VCPU
+	for i := 0; i < nvm; i++ {
+		vm := h.NewVM(vmName(i), []int{0})
+		vcpus = append(vcpus, vm.VCPUs[0])
+	}
+	eng := h.Machine().Eng
+	eng.Go("switcher", func(p *sim.Proc) {
+		h.EnterGuest(p, vcpus[0])
+		cur := 0
+		for i := 0; i < 50; i++ {
+			next := (cur + 1) % nvm
+			h.SwitchVM(p, vcpus[cur], vcpus[next])
+			cur = next
+		}
+		h.ExitGuest(p, vcpus[cur])
+	})
+	eng.Run() // the residency panics in cpu.PCPU are the assertions
+}
+
+func vmName(i int) string { return string(rune('a'+i)) + "-vm" }
+
+// TestConcurrentIPIAllPairs runs a 4-VCPU VM where every VCPU IPIs every
+// other in turn; no interrupt may be lost even when kicks race with
+// in-progress world switches.
+func TestConcurrentIPIAllPairs(t *testing.T) {
+	pl := platform.NewKVMARM()
+	h := pl.KVM
+	vm := h.NewVM("vm0", []int{0, 1, 2, 3})
+	eng := h.Machine().Eng
+	const perPair = 3
+	counts := make([]int, 4)
+	for i := range vm.VCPUs {
+		v := vm.VCPUs[i]
+		idx := i
+		hyp.Run(h, "vcpu", v, func(p *sim.Proc, g *hyp.Guest) {
+			// Everyone sends to everyone else, interleaved with
+			// receiving whatever arrives.
+			sends := perPair * 3
+			recvs := perPair * 3
+			for sends > 0 || recvs > 0 {
+				if sends > 0 {
+					target := vm.VCPUs[(idx+1+sends%3)%4]
+					if target != v {
+						g.SendIPI(p, target)
+					}
+					sends--
+				}
+				if recvs > 0 {
+					if virq := v.VisiblePendingVirq(); virq != -1 {
+						v.AckVirq(virq)
+						g.Complete(p, virq)
+						counts[idx]++
+						recvs--
+						continue
+					}
+					if d, ok := v.CPU.IRQ.TryRecv(); ok {
+						h.HandlePhysIRQ(p, v, d)
+						continue
+					}
+					if sends == 0 {
+						// Nothing left to send: block for the rest.
+						virq := g.WaitVirq(p, true)
+						g.Complete(p, virq)
+						counts[idx]++
+						recvs--
+					}
+				}
+			}
+		})
+	}
+	eng.Run()
+	// The guest IPI virq collapses when several arrive before handling
+	// (level-triggered semantics), so each VCPU handles at least one and
+	// at most perPair*3 interrupts; the invariant is no deadlock and no
+	// spurious interrupts.
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("vcpu%d never received an IPI", i)
+		}
+	}
+}

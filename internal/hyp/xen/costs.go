@@ -1,0 +1,71 @@
+// Package xen models the Xen hypervisor: a Type 1 design running entirely
+// in EL2 on ARM (§II, Figure 2) with its GIC emulation, scheduler, and
+// timers in the hypervisor itself, and everything else — device drivers,
+// network and block backends — offloaded to the privileged Dom0 VM. On x86
+// Xen runs in VMX root mode and uses the same hardware VMCS transitions as
+// KVM.
+package xen
+
+import "armvirt/internal/cpu"
+
+// Costs is the table of Xen software path costs. Hardware primitives come
+// from the machine cost model; calibrated values live in internal/platform.
+type Costs struct {
+	// GPSaveFast/GPRestoreFast are the fast-path partial
+	// general-purpose spills on a hypercall trap: Xen only saves the
+	// registers its C handlers clobber, which is why its hypercall
+	// costs 376 cycles against KVM's 6,500.
+	GPSaveFast    cpu.Cycles
+	GPRestoreFast cpu.Cycles
+	// Handler is the null-hypercall handling cost inside Xen.
+	Handler cpu.Cycles
+	// GICDistEmulate is one emulated distributor access (Xen's vgic
+	// runs in EL2, so only the light trap surrounds it).
+	GICDistEmulate cpu.Cycles
+	// SGIEmulate is the emulation of a guest SGI write: distributor
+	// lock, target resolution, pending update. Calibrated from Table
+	// II's Virtual IPI row: the gap between Xen's 376-cycle hypercall
+	// and its 5,978-cycle virtual IPI is, by elimination, vgic
+	// emulation and physical-interrupt handling software cost.
+	SGIEmulate cpu.Cycles
+	// PhysIRQAck is Xen acknowledging + EOIing a physical interrupt.
+	PhysIRQAck cpu.Cycles
+	// VirqInject programs a pending virtual interrupt into the target's
+	// list registers / image.
+	VirqInject cpu.Cycles
+	// GuestIRQEntry is the guest-side vectoring cost.
+	GuestIRQEntry cpu.Cycles
+	// SchedSwitch is the scheduler + VMID/TLB maintenance cost of a
+	// direct VM-to-VM switch (Table II row 5 minus the state moves).
+	SchedSwitch cpu.Cycles
+	// SchedToIdle is the cheap half-switch into the idle domain when a
+	// VCPU blocks (the idle domain has almost no state to load).
+	SchedToIdle cpu.Cycles
+	// IdleWakeSched is the scheduler cost of switching from the idle
+	// domain back to a woken VCPU — the path the paper identifies as
+	// Xen's I/O latency problem (§IV: "Xen must perform a VM switch
+	// from the idle domain to Dom0").
+	IdleWakeSched cpu.Cycles
+	// EvtchnSend is the event-channel send hypercall's handler.
+	EvtchnSend cpu.Cycles
+	// UpcallDispatch is the guest-side (Dom0 or DomU) event-channel
+	// upcall: scanning the pending bitmap and dispatching the handler.
+	UpcallDispatch cpu.Cycles
+	// Dom0WorkerWake is Dom0's internal wakeup of the backend worker
+	// (netback) after the upcall. Calibrated residual: Table II's I/O
+	// rows measure it but do not decompose it.
+	Dom0WorkerWake cpu.Cycles
+	// NotifyRingWork is the Dom0 netback-side work (response ring
+	// update, grant bookkeeping) included in the I/O Latency In
+	// measurement before the evtchn hypercall. Calibrated residual,
+	// the Xen counterpart of KVM's vhost-side notify cost.
+	NotifyRingWork cpu.Cycles
+	// EOIEmulate is the x86 trap-and-emulate EOI (no vAPIC).
+	EOIEmulate cpu.Cycles
+	// APICAccess is the x86 emulated APIC access.
+	APICAccess cpu.Cycles
+	// FaultWork is Xen's Stage-2 (P2M) fault handling: allocate from
+	// the domain's reservation and install the translation, entirely in
+	// EL2.
+	FaultWork cpu.Cycles
+}

@@ -1,0 +1,77 @@
+package micro
+
+import (
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/sim"
+	"armvirt/internal/trace"
+)
+
+// TracedOps lists the operations TraceOp accepts.
+var TracedOps = []string{"hypercall", "gictrap", "vmswitch", "virqcomplete", "stage2fault"}
+
+// TraceOp runs one operation with full cycle attribution and returns the
+// breakdown — the Table III methodology applied to any path. The operation
+// names match TracedOps.
+func TraceOp(h hyp.Hypervisor, op string) Result {
+	switch op {
+	case "hypercall":
+		return HypercallBreakdown(h)
+	case "gictrap":
+		return tracedSingle(h, "Interrupt Controller Trap", func(p *sim.Proc, g *hyp.Guest) {
+			g.GICTrap(p)
+		})
+	case "virqcomplete":
+		return tracedSingle(h, "Virtual IRQ Completion", func(p *sim.Proc, g *hyp.Guest) {
+			g.V.InjectVirq(hyp.VirqGuestIPI)
+			virq := g.WaitVirq(p, true)
+			g.Complete(p, virq)
+		})
+	case "stage2fault":
+		return tracedSingle(h, "Stage-2 Fault", func(p *sim.Proc, g *hyp.Guest) {
+			g.TouchPage(p, 0x5000_0000, true)
+		})
+	case "vmswitch":
+		return tracedVMSwitch(h)
+	}
+	panic("micro: unknown traced op " + op)
+}
+
+// tracedSingle runs body once on a warm single-VCPU VM with attribution.
+func tracedSingle(h hyp.Hypervisor, name string, body func(p *sim.Proc, g *hyp.Guest)) Result {
+	vm := h.NewVM("vm0", guestPin[:1])
+	v := vm.VCPUs[0]
+	br := &trace.Breakdown{}
+	var cycles cpu.Cycles
+	hyp.Run(h, "traced-"+name, v, func(p *sim.Proc, g *hyp.Guest) {
+		g.Hypercall(p) // warm residency state
+		v.BR = br
+		t0 := p.Now()
+		body(p, g)
+		cycles = cpu.Cycles(p.Now() - t0)
+		v.BR = nil
+	})
+	h.Machine().Eng.Run()
+	return Result{Name: name, Cycles: cycles, Min: cycles, Max: cycles, Breakdown: br}
+}
+
+func tracedVMSwitch(h hyp.Hypervisor) Result {
+	vm1 := h.NewVM("vm1", guestPin[:1])
+	vm2 := h.NewVM("vm2", guestPin[:1])
+	a, b := vm1.VCPUs[0], vm2.VCPUs[0]
+	br := &trace.Breakdown{}
+	var cycles cpu.Cycles
+	h.Machine().Eng.Go("traced-vmswitch", func(p *sim.Proc) {
+		h.EnterGuest(p, a)
+		h.SwitchVM(p, a, b) // warm
+		h.SwitchVM(p, b, a)
+		a.BR = br
+		t0 := p.Now()
+		h.SwitchVM(p, a, b)
+		cycles = cpu.Cycles(p.Now() - t0)
+		a.BR, b.BR = nil, nil
+		h.ExitGuest(p, b)
+	})
+	h.Machine().Eng.Run()
+	return Result{Name: "VM Switch", Cycles: cycles, Min: cycles, Max: cycles, Breakdown: br}
+}

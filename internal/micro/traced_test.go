@@ -1,0 +1,63 @@
+package micro
+
+import (
+	"testing"
+
+	"armvirt/internal/platform"
+)
+
+func TestTraceOpTotalsMatchUntracedRuns(t *testing.T) {
+	// Tracing must not change costs: each traced op's total equals the
+	// untraced benchmark's measurement.
+	cases := []struct {
+		op   string
+		want func() Result
+	}{
+		{"hypercall", func() Result { return Hypercall(platform.NewKVMARM().Hyp()) }},
+		{"gictrap", func() Result { return InterruptControllerTrap(platform.NewKVMARM().Hyp()) }},
+		{"virqcomplete", func() Result { return VirtualIRQCompletion(platform.NewKVMARM().Hyp()) }},
+		{"vmswitch", func() Result { return VMSwitch(platform.NewKVMARM().Hyp()) }},
+	}
+	for _, c := range cases {
+		traced := TraceOp(platform.NewKVMARM().Hyp(), c.op)
+		want := c.want()
+		if traced.Cycles != want.Cycles {
+			t.Errorf("%s: traced %d vs untraced %d cycles", c.op, traced.Cycles, want.Cycles)
+		}
+		if traced.Breakdown.Total() != traced.Cycles {
+			t.Errorf("%s: breakdown total %d != measured %d", c.op, traced.Breakdown.Total(), traced.Cycles)
+		}
+	}
+}
+
+func TestTraceStage2Fault(t *testing.T) {
+	r := TraceOp(platform.NewKVMARM().Hyp(), "stage2fault")
+	if r.Breakdown.Get("host: allocate + map page") == 0 {
+		t.Error("fault trace missing the host mapping work")
+	}
+	if r.Breakdown.Get("VGIC Regs: save") != 3250 {
+		t.Error("a split-mode fault must pay the full world switch")
+	}
+	xen := TraceOp(platform.NewXenARM().Hyp(), "stage2fault")
+	if xen.Cycles >= r.Cycles/3 {
+		t.Errorf("Xen fault %d vs KVM %d: EL2 handling should be far cheaper", xen.Cycles, r.Cycles)
+	}
+}
+
+func TestTraceUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TraceOp(platform.NewKVMARM().Hyp(), "nonsense")
+}
+
+func TestTracedOpsAllRun(t *testing.T) {
+	for _, op := range TracedOps {
+		r := TraceOp(platform.NewXenARM().Hyp(), op)
+		if r.Cycles <= 0 || len(r.Breakdown.Steps()) == 0 {
+			t.Errorf("%s: empty trace", op)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package platform
+
+import (
+	"testing"
+
+	"armvirt/internal/cpu"
+)
+
+func TestARMCostModelMatchesTableIII(t *testing.T) {
+	cm := ARMCostModel()
+	want := map[cpu.RegClass][2]cpu.Cycles{
+		cpu.GP: {152, 184}, cpu.FP: {282, 310}, cpu.EL1Sys: {230, 511},
+		cpu.VGIC: {3250, 181}, cpu.Timer: {104, 106},
+		cpu.EL2Config: {92, 107}, cpu.EL2VM: {92, 107},
+	}
+	for cls, sr := range want {
+		got := cm.ClassCost(cls)
+		if got.Save != sr[0] || got.Restore != sr[1] {
+			t.Errorf("%v = %+v, want %v", cls, got, sr)
+		}
+	}
+	if cm.FreqMHz != 2400 || cm.Arch != cpu.ARM {
+		t.Error("ARM model misconfigured")
+	}
+	if cm.VirqCompleteHW != 71 {
+		t.Error("Virtual IRQ completion must be 71 cycles (Table II)")
+	}
+}
+
+func TestX86CostModel(t *testing.T) {
+	cm := X86CostModel()
+	// Xen x86's hypercall is pure hardware: exit + entry = 1,228.
+	if cm.VMExitHW+cm.VMEntryHW != 1228 {
+		t.Errorf("VMExit+VMEntry = %d, want 1228", cm.VMExitHW+cm.VMEntryHW)
+	}
+	// §IV: the exit leg is about 40% of KVM's 1,300-cycle hypercall.
+	frac := float64(cm.VMExitHW) / 1300
+	if frac < 0.35 || frac > 0.45 {
+		t.Errorf("exit fraction = %.2f, want ~0.40", frac)
+	}
+}
+
+func TestPlatformConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		pl    *Platform
+		label string
+		type1 bool
+		arch  cpu.Arch
+	}{
+		{NewKVMARM(), "KVM ARM", false, cpu.ARM},
+		{NewXenARM(), "Xen ARM", true, cpu.ARM},
+		{NewKVMX86(), "KVM x86", false, cpu.X86},
+		{NewXenX86(), "Xen x86", true, cpu.X86},
+		{NewKVMARMVHE(), "KVM ARM (VHE)", false, cpu.ARM},
+	} {
+		if tc.pl.Label != tc.label {
+			t.Errorf("label = %q, want %q", tc.pl.Label, tc.label)
+		}
+		if tc.pl.Machine.Arch != tc.arch {
+			t.Errorf("%s: arch = %v", tc.label, tc.pl.Machine.Arch)
+		}
+		if tc.pl.Machine.NCPU() != NCPU {
+			t.Errorf("%s: %d CPUs, want %d", tc.label, tc.pl.Machine.NCPU(), NCPU)
+		}
+		h := tc.pl.Hyp()
+		if h == nil || h.Name() != tc.label {
+			t.Errorf("%s: Hyp() broken", tc.label)
+		}
+		if (tc.pl.Xen != nil) != tc.type1 {
+			t.Errorf("%s: wrong hypervisor type", tc.label)
+		}
+	}
+}
+
+func TestVHEFlagPropagates(t *testing.T) {
+	if !NewKVMARMVHE().KVM.VHE() {
+		t.Error("VHE platform should set E2H")
+	}
+	if NewKVMARM().KVM.VHE() {
+		t.Error("baseline must not set E2H")
+	}
+	for _, c := range NewKVMARMVHE().Machine.CPUs {
+		if !c.P.VHE() {
+			t.Error("E2H must be set on every PCPU")
+		}
+	}
+}
+
+func TestFreshMachinesPerPlatform(t *testing.T) {
+	a, b := NewKVMARM(), NewKVMARM()
+	if a.Machine == b.Machine {
+		t.Error("platforms must not share machines")
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine models virtual time in CPU cycles. Simulated activities run as
+// processes (fibers): ordinary Go functions executing on goroutines that are
+// scheduled cooperatively, one at a time, by the engine. Because exactly one
+// process runs at any instant and all ties in the event queue are broken by
+// a monotonic sequence number, a simulation produces identical results on
+// every run regardless of host scheduling.
+//
+// Processes advance time with Proc.Sleep, exchange data through Queue, and
+// coordinate through Cond and Resource. Plain callbacks can be scheduled
+// with Engine.At; callbacks run inline in the engine and must not block.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, measured in CPU cycles. All PCPUs in a
+// simulated machine share one clock domain (the paper's measurement
+// methodology synchronizes counters across CPUs for exactly this reason).
+type Time int64
+
+// event is a scheduled engine action: either a plain callback or the
+// resumption of a parked process.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yield   chan struct{} // a running proc signals here when it parks or exits
+	procs   map[*Proc]struct{}
+	stopped bool
+	tracer  func(t Time, what string)
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs a callback invoked for engine-level trace points
+// (process start/exit). Pass nil to disable.
+func (e *Engine) SetTracer(fn func(t Time, what string)) { e.tracer = fn }
+
+func (e *Engine) trace(what string) {
+	if e.tracer != nil {
+		e.tracer(e.now, what)
+	}
+}
+
+// At schedules fn to run at absolute time t (clamped to now). fn executes
+// inline in the engine loop and must not block or park.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// are retained; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty or Stop is called. Parked
+// processes whose wakeups are never scheduled are simply abandoned (their
+// goroutines are unblocked and discarded at no cost to determinism).
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.at))
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the clock
+// to deadline if it has not already passed it.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Idle reports whether no events remain.
+func (e *Engine) Idle() bool { return len(e.queue) == 0 }
+
+// ParkedProcs returns the names of processes that are currently parked,
+// sorted; useful for diagnosing stalled simulations in tests.
+func (e *Engine) ParkedProcs() []string {
+	var names []string
+	for p := range e.procs {
+		if p.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// resumeAndWait unparks p and blocks until p parks again or exits. It must
+// only be called from the engine loop (inside an event callback).
+func (e *Engine) resumeAndWait(p *Proc) {
+	p.parked = false
+	p.wake <- struct{}{}
+	<-e.yield
+	if p.dead {
+		delete(e.procs, p)
+	}
+}
+
+// Go spawns a new process that begins executing body at the current time.
+// The body runs on its own goroutine but is scheduled cooperatively: it only
+// executes while the engine has handed it control.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.wake // wait for first dispatch
+		e.trace("start " + p.name)
+		body(p)
+		e.trace("exit " + p.name)
+		p.dead = true
+		p.parked = true
+		e.yield <- struct{}{}
+	}()
+	e.At(e.now, func() { e.resumeAndWait(p) })
+	return p
+}
+
+// GoAt is Go with a deferred start time.
+func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.wake
+		e.trace("start " + p.name)
+		body(p)
+		e.trace("exit " + p.name)
+		p.dead = true
+		p.parked = true
+		e.yield <- struct{}{}
+	}()
+	e.At(t, func() { e.resumeAndWait(p) })
+	return p
+}
+
+// Proc is a simulated process. All methods must be called from the process's
+// own body function; calling them from outside the simulation is a
+// programming error.
+type Proc struct {
+	eng    *Engine
+	name   string
+	wake   chan struct{}
+	parked bool
+	dead   bool
+}
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park gives control back to the engine until some event unparks p.
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances the process's local view of time by d cycles. Other events
+// in the system proceed during the sleep. d <= 0 returns immediately without
+// yielding.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	w := &waiter{p: p}
+	p.eng.After(d, w.fire)
+	p.park()
+}
+
+// SleepUntil parks until the absolute time t (no-op if t has passed).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// Yield reschedules the process at the current time, letting any other
+// events queued for this instant run first.
+func (p *Proc) Yield() {
+	w := &waiter{p: p}
+	p.eng.After(0, w.fire)
+	p.park()
+}
+
+// waiter is a one-shot wakeup token. Exactly one of the paths racing to wake
+// a parked process succeeds; the rest become no-ops. Because all paths run
+// inside the single-threaded engine loop there is no data race.
+type waiter struct {
+	p    *Proc
+	done bool
+}
+
+func (w *waiter) fire() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.p.eng.resumeAndWait(w.p)
+}

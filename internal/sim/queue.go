@@ -1,0 +1,190 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox connecting processes. Send never
+// blocks; Recv parks the caller until an item is available. Items are
+// delivered in send order and wakeups are deterministic.
+type Queue[T any] struct {
+	eng     *Engine
+	name    string
+	items   []T
+	waiters []*waiter
+}
+
+// NewQueue creates an empty queue attached to eng.
+func NewQueue[T any](eng *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: eng, name: name}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Send enqueues v and wakes the oldest parked receiver, if any. Send may be
+// called from a process or from a plain engine callback.
+func (q *Queue[T]) Send(v T) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// SendAfter enqueues v after a delay of d cycles, modelling propagation
+// latency (e.g. an IPI crossing the interconnect).
+func (q *Queue[T]) SendAfter(d Time, v T) {
+	q.eng.After(d, func() { q.Send(v) })
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.done {
+			continue // stale registration (receiver already woken by timeout)
+		}
+		w.done = true
+		q.eng.After(0, func() { q.eng.resumeAndWait(w.p) })
+		return
+	}
+}
+
+// Recv parks p until an item is available, then dequeues and returns it.
+func (q *Queue[T]) Recv(p *Proc) T {
+	for {
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			return v
+		}
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		p.park()
+	}
+}
+
+// TryRecv dequeues an item if one is available without parking.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// RecvTimeout is Recv with a deadline d cycles in the future. The second
+// result is false if the deadline elapsed with no item available.
+func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
+	var zero T
+	deadline := q.eng.now + d
+	for {
+		if len(q.items) > 0 {
+			v := q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.eng.now >= deadline {
+			return zero, false
+		}
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		q.eng.At(deadline, w.fire)
+		p.park()
+	}
+}
+
+// Cond is a broadcast condition: processes park on Wait and are all released
+// by the next Broadcast. There is no predicate; callers re-check their own
+// condition after waking.
+type Cond struct {
+	eng     *Engine
+	waiters []*waiter
+}
+
+// NewCond creates a condition attached to eng.
+func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	w := &waiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.park()
+}
+
+// Broadcast wakes every currently parked waiter (in wait order).
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.done {
+			continue
+		}
+		w.done = true
+		ww := w
+		c.eng.After(0, func() { c.eng.resumeAndWait(ww.p) })
+	}
+}
+
+// Resource is a FIFO mutual-exclusion resource (for example, a physical CPU
+// shared by several simulated contexts). Acquire parks until the resource is
+// free; Release hands it to the next waiter.
+type Resource struct {
+	eng     *Engine
+	name    string
+	busy    bool
+	holder  *Proc
+	waiters []*waiter
+}
+
+// NewResource creates a free resource attached to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// Holder returns the process currently holding the resource, or nil.
+func (r *Resource) Holder() *Proc { return r.holder }
+
+// Acquire parks p until the resource is free, then claims it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.busy {
+		w := &waiter{p: p}
+		r.waiters = append(r.waiters, w)
+		p.park()
+	}
+	r.busy = true
+	r.holder = p
+}
+
+// Release frees the resource and wakes the oldest waiter. Panics if the
+// caller does not hold it.
+func (r *Resource) Release(p *Proc) {
+	if !r.busy || r.holder != p {
+		panic("sim: Release by non-holder on resource " + r.name)
+	}
+	r.busy = false
+	r.holder = nil
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if w.done {
+			continue
+		}
+		w.done = true
+		r.eng.After(0, func() { r.eng.resumeAndWait(w.p) })
+		return
+	}
+}
+
+// Exec acquires the resource, sleeps for d cycles of exclusive use, and
+// releases it. This is the common "occupy the CPU for d cycles" idiom.
+func (r *Resource) Exec(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}

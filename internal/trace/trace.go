@@ -1,0 +1,101 @@
+// Package trace provides cycle attribution: named step recorders that
+// world-switch and I/O paths write into, so experiments can print
+// Table III-style breakdowns ("where did the 6,500 cycles go?").
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"armvirt/internal/cpu"
+)
+
+// Step is one attributed cost component.
+type Step struct {
+	Name   string
+	Cycles cpu.Cycles
+}
+
+// Breakdown accumulates attributed steps for one measured operation.
+// A nil *Breakdown is valid and records nothing, so hot paths can call
+// Add unconditionally.
+type Breakdown struct {
+	steps []Step
+}
+
+// Add records a step. No-op on a nil receiver or non-positive cost.
+func (b *Breakdown) Add(name string, c cpu.Cycles) {
+	if b == nil || c <= 0 {
+		return
+	}
+	b.steps = append(b.steps, Step{Name: name, Cycles: c})
+}
+
+// Steps returns the recorded steps in order.
+func (b *Breakdown) Steps() []Step {
+	if b == nil {
+		return nil
+	}
+	return b.steps
+}
+
+// Total returns the summed cost of all steps.
+func (b *Breakdown) Total() cpu.Cycles {
+	if b == nil {
+		return 0
+	}
+	var t cpu.Cycles
+	for _, s := range b.steps {
+		t += s.Cycles
+	}
+	return t
+}
+
+// ByName aggregates steps sharing a name (preserving first-seen order).
+func (b *Breakdown) ByName() []Step {
+	if b == nil {
+		return nil
+	}
+	idx := map[string]int{}
+	var out []Step
+	for _, s := range b.steps {
+		if i, ok := idx[s.Name]; ok {
+			out[i].Cycles += s.Cycles
+			continue
+		}
+		idx[s.Name] = len(out)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Get returns the aggregate cycles recorded under name.
+func (b *Breakdown) Get(name string) cpu.Cycles {
+	if b == nil {
+		return 0
+	}
+	var t cpu.Cycles
+	for _, s := range b.steps {
+		if s.Name == name {
+			t += s.Cycles
+		}
+	}
+	return t
+}
+
+// Reset clears the recorder for reuse.
+func (b *Breakdown) Reset() {
+	if b != nil {
+		b.steps = b.steps[:0]
+	}
+}
+
+// String renders the aggregated breakdown as an aligned table.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for _, s := range b.ByName() {
+		fmt.Fprintf(&sb, "%-32s %8d\n", s.Name, s.Cycles)
+	}
+	fmt.Fprintf(&sb, "%-32s %8d\n", "TOTAL", b.Total())
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"armvirt/internal/cpu"
+)
+
+func TestNilBreakdownIsSafe(t *testing.T) {
+	var b *Breakdown
+	b.Add("x", 100) // must not panic
+	if b.Total() != 0 || b.Steps() != nil || b.ByName() != nil || b.Get("x") != 0 {
+		t.Fatal("nil breakdown should be empty")
+	}
+	b.Reset()
+}
+
+func TestAddAndTotal(t *testing.T) {
+	b := &Breakdown{}
+	b.Add("save", 100)
+	b.Add("restore", 50)
+	b.Add("save", 25)
+	b.Add("zero", 0) // dropped
+	b.Add("neg", -5) // dropped
+	if b.Total() != 175 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if len(b.Steps()) != 3 {
+		t.Fatalf("steps = %d, want 3", len(b.Steps()))
+	}
+}
+
+func TestByNameAggregatesPreservingOrder(t *testing.T) {
+	b := &Breakdown{}
+	b.Add("a", 1)
+	b.Add("b", 2)
+	b.Add("a", 3)
+	agg := b.ByName()
+	if len(agg) != 2 || agg[0].Name != "a" || agg[0].Cycles != 4 || agg[1].Cycles != 2 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+func TestGet(t *testing.T) {
+	b := &Breakdown{}
+	b.Add("x", 10)
+	b.Add("x", 20)
+	if b.Get("x") != 30 || b.Get("y") != 0 {
+		t.Fatal("Get wrong")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := &Breakdown{}
+	b.Add("x", 10)
+	b.Reset()
+	if b.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStringRendersTotalAndRows(t *testing.T) {
+	b := &Breakdown{}
+	b.Add("VGIC Regs: save", 3250)
+	s := b.String()
+	if !strings.Contains(s, "VGIC Regs: save") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+// Property: Total equals the sum of ByName aggregates for any sequence.
+func TestTotalMatchesAggregates(t *testing.T) {
+	prop := func(names []uint8, vals []uint16) bool {
+		b := &Breakdown{}
+		n := len(names)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			b.Add(string(rune('a'+names[i]%5)), cpu.Cycles(vals[i]))
+		}
+		var sum cpu.Cycles
+		for _, s := range b.ByName() {
+			sum += s.Cycles
+		}
+		return sum == b.Total()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package vio
+
+import (
+	"fmt"
+
+	"armvirt/internal/mem"
+)
+
+// NetIf is a paravirtual network interface: an RX ring of guest-posted
+// buffers and a TX ring of guest-posted frames. It enforces the memory
+// access rules that separate the two I/O models (§II, §V):
+//
+//   - A KVM vhost backend has full access to guest memory: its reads and
+//     writes resolve guest buffer addresses directly through the VM's
+//     Stage-2 table (zero copy). Touching an unmapped guest address is a
+//     bug and panics.
+//   - A Xen netback may only touch pages the guest granted: its accesses
+//     must present a grant reference, and the data moves via grant copy.
+type NetIf struct {
+	// Rx holds guest-posted empty receive buffers.
+	Rx *Ring
+	// Tx holds guest-posted outbound frames.
+	Tx *Ring
+	// s2 is the guest's Stage-2 table, consulted on backend access.
+	s2 *mem.S2Table
+}
+
+// NewNetIf creates an interface with the given ring sizes over the guest's
+// Stage-2 table.
+func NewNetIf(s2 *mem.S2Table, ringSize int) *NetIf {
+	return &NetIf{
+		Rx: NewRing("rx", ringSize),
+		Tx: NewRing("tx", ringSize),
+		s2: s2,
+	}
+}
+
+// PostRxBuffer posts an empty guest buffer (by IPA) for incoming data.
+// Returns false when the ring is full.
+func (n *NetIf) PostRxBuffer(addr mem.IPA, size int) bool {
+	return n.Rx.Post(&Packet{GuestAddr: addr, Bytes: size})
+}
+
+// PostTxFrame posts an outbound frame living in guest memory.
+func (n *NetIf) PostTxFrame(pk *Packet) bool {
+	return n.Tx.Post(pk)
+}
+
+// VhostWriteRx is the KVM backend delivering an incoming frame: it takes
+// the next posted RX buffer and DMAs into it *through the guest's Stage-2
+// mapping* — the zero-copy path. Panics if the guest buffer is not mapped
+// (vhost accessing unmapped guest memory is a host crash, not an error
+// return).
+func (n *NetIf) VhostWriteRx(pk *Packet) (*Packet, error) {
+	buf := n.Rx.Consume()
+	if buf == nil {
+		return nil, fmt.Errorf("vio: rx ring empty (guest out of buffers)")
+	}
+	if pk.Bytes > buf.Bytes {
+		return nil, fmt.Errorf("vio: frame %dB exceeds buffer %dB", pk.Bytes, buf.Bytes)
+	}
+	n.mustMapped(buf.GuestAddr, true)
+	buf.Seq = pk.Seq
+	buf.Stamp = pk.Stamp
+	buf.Bytes = pk.Bytes
+	n.Rx.Complete(buf)
+	return buf, nil
+}
+
+// VhostReadTx is the KVM backend transmitting a guest frame: it reads the
+// payload directly from guest memory.
+func (n *NetIf) VhostReadTx() (*Packet, error) {
+	pk := n.Tx.Consume()
+	if pk == nil {
+		return nil, fmt.Errorf("vio: tx ring empty")
+	}
+	n.mustMapped(pk.GuestAddr, false)
+	n.Tx.Complete(pk)
+	return pk, nil
+}
+
+func (n *NetIf) mustMapped(addr mem.IPA, write bool) {
+	pa, perm, ok := n.s2.Lookup(addr)
+	if !ok {
+		panic(fmt.Sprintf("vio: backend access to unmapped guest address %#x", uint64(addr)))
+	}
+	if write && perm&mem.PermW == 0 {
+		panic(fmt.Sprintf("vio: backend write to read-only guest page %#x (pa %#x)", uint64(addr), uint64(pa)))
+	}
+}
+
+// NetbackWriteRx is the Xen backend delivering an incoming frame: the data
+// is grant-copied into the guest buffer identified by its grant reference.
+// Returns the copy's cycle cost.
+func (n *NetIf) NetbackWriteRx(pk *Packet, grants *GrantTable, ref GrantRef) (*Packet, int64, error) {
+	buf := n.Rx.Consume()
+	if buf == nil {
+		return nil, 0, fmt.Errorf("vio: rx ring empty")
+	}
+	cost, err := grants.Copy(ref, pk.Bytes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vio: netback rx without valid grant: %w", err)
+	}
+	buf.Seq = pk.Seq
+	buf.Stamp = pk.Stamp
+	buf.Bytes = pk.Bytes
+	n.Rx.Complete(buf)
+	return buf, int64(cost), nil
+}
+
+// NetbackReadTx is the Xen backend transmitting a guest frame via grant
+// copy.
+func (n *NetIf) NetbackReadTx(grants *GrantTable, ref GrantRef) (*Packet, int64, error) {
+	pk := n.Tx.Consume()
+	if pk == nil {
+		return nil, 0, fmt.Errorf("vio: tx ring empty")
+	}
+	cost, err := grants.Copy(ref, pk.Bytes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vio: netback tx without valid grant: %w", err)
+	}
+	n.Tx.Complete(pk)
+	return pk, int64(cost), nil
+}

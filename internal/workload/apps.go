@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"armvirt/internal/micro"
+	"armvirt/internal/stats"
+)
+
+// statsGeoMean aliases the stats helper for local readability.
+func statsGeoMean(xs []float64) float64 { return stats.GeoMean(xs) }
+
+// AppModel is the event-mix capacity model used for the request-serving
+// and CPU-bound applications of Table IV. §V's analysis drives its
+// structure: requests need WorkUs of application CPU time (spread across
+// the 4-VCPU SMP guest) plus Events interrupt deliveries which — in the
+// paper's default configuration — all land on VCPU0. When VCPU0 saturates
+// on interrupt work, it becomes the bottleneck; distributing virtual
+// interrupts across VCPUs (the paper's in-text experiment) removes the
+// concentration.
+type AppModel struct {
+	Name string
+	// WorkUs is the application CPU time per request, parallelizable
+	// across the guest's VCPUs.
+	WorkUs float64
+	// Events is the number of interrupt events per request.
+	Events float64
+	// NativeEventUs is the bare-metal per-event handling cost (IRQ +
+	// NAPI + softirq).
+	NativeEventUs float64
+	// GuestEventExtraUsType2/Type1 is the guest-side software cost per
+	// event beyond the hardware delivery path measured by the
+	// VirqDeliveryBusy probe: softirq and driver work for KVM guests;
+	// event-channel upcall bitmap scanning, netfront event processing,
+	// and evtchn unmask hypercalls for Xen guests (calibrated — the
+	// paper quantifies the *result*, 84% overhead, not this input).
+	GuestEventExtraUsType2 float64
+	GuestEventExtraUsType1 float64
+	// DistributedFactorType1 scales the per-event cost when virtual
+	// interrupts are distributed (distribution also relieves Xen's
+	// single-upcall contention).
+	DistributedFactorType1 float64
+	// VCPUs is the guest SMP width (4 throughout the paper).
+	VCPUs float64
+}
+
+// eventUs returns the virtualized per-event cost on pc.
+func (m AppModel) eventUs(pc micro.PathCosts) float64 {
+	extra := m.GuestEventExtraUsType2
+	if pc.Type1 {
+		extra = m.GuestEventExtraUsType1
+	}
+	return pc.Micros(pc.VirqDeliverBusy) + extra
+}
+
+// NativeRPS is the bare-metal request rate (requests per second). The
+// paper verified natively that concentrating physical interrupts on one
+// CPU does not change performance, so no concentration penalty applies.
+func (m AppModel) NativeRPS() float64 {
+	return m.VCPUs / (m.WorkUs + m.Events*m.NativeEventUs) * 1e6
+}
+
+// VirtRPS is the virtualized request rate. With distributed=false, all
+// virtual interrupts are delivered through VCPU0: the guest saturates
+// VCPU0 when per-request interrupt time exceeds its share, capping
+// throughput at 1/(Events×eventCost). With distributed=true the interrupt
+// work spreads like ordinary work.
+func (m AppModel) VirtRPS(pc micro.PathCosts, distributed bool) float64 {
+	c := m.eventUs(pc)
+	if distributed {
+		if pc.Type1 && m.DistributedFactorType1 > 0 {
+			c *= m.DistributedFactorType1
+		}
+		return m.VCPUs / (m.WorkUs + m.Events*c) * 1e6
+	}
+	balanced := m.VCPUs / (m.WorkUs + m.Events*c) * 1e6
+	vcpu0Cap := 1 / (m.Events * c) * 1e6
+	if vcpu0Cap < balanced {
+		return vcpu0Cap
+	}
+	return balanced
+}
+
+// Overhead returns the Figure 4 metric (native/virtualized performance).
+// Virtualization never speeds these workloads up; the result is clamped at
+// 1.0 for platforms whose per-event delivery cost undercuts the calibrated
+// native event cost (KVM x86's short exit path).
+func (m AppModel) Overhead(pc micro.PathCosts, distributed bool) float64 {
+	o := m.NativeRPS() / m.VirtRPS(pc, distributed)
+	if o < 1 {
+		return 1
+	}
+	return o
+}
+
+// Apache serves the 41 KB GCC-manual index page to 100 concurrent
+// ApacheBench connections (Table IV).
+func Apache() AppModel {
+	return AppModel{
+		Name:                   "Apache",
+		WorkUs:                 37.9,
+		Events:                 4,
+		NativeEventUs:          2.33,
+		GuestEventExtraUsType2: 1.20,
+		GuestEventExtraUsType1: 4.07,
+		DistributedFactorType1: 0.78,
+		VCPUs:                  4,
+	}
+}
+
+// Memcached runs the memtier benchmark with default parameters: lighter
+// requests, proportionally more network events.
+func Memcached() AppModel {
+	return AppModel{
+		Name:                   "Memcached",
+		WorkUs:                 57.8,
+		Events:                 6,
+		NativeEventUs:          2.96,
+		GuestEventExtraUsType2: 1.20,
+		GuestEventExtraUsType1: 2.79, // lighter upcall contention than Apache's 100-connection fan-in
+		DistributedFactorType1: 1.0,
+		VCPUs:                  4,
+	}
+}
+
+// MySQL runs SysBench with 200 parallel transactions: mostly CPU and
+// memory with moderate network and block I/O.
+func MySQL() AppModel {
+	return AppModel{
+		Name:                   "MySQL",
+		WorkUs:                 80,
+		Events:                 3,
+		NativeEventUs:          2.33,
+		GuestEventExtraUsType2: 1.20,
+		GuestEventExtraUsType1: 4.07,
+		DistributedFactorType1: 1.0,
+		VCPUs:                  4,
+	}
+}
+
+// HackbenchModel captures hackbench's behaviour: 100 process groups whose
+// wake-ups generate rescheduling IPIs at a very high rate, making virtual
+// IPI cost the dominant virtualization overhead (§V).
+type HackbenchModel struct {
+	// WorkUsPerIPI is the scheduling/copy work per rescheduling IPI.
+	WorkUsPerIPI float64
+	// NativeIPIUs is the bare-metal IPI + reschedule cost.
+	NativeIPIUs float64
+}
+
+// Hackbench returns the calibrated model.
+func Hackbench() HackbenchModel {
+	return HackbenchModel{WorkUsPerIPI: 43.6, NativeIPIUs: 0.42}
+}
+
+// Overhead is runtime(virt)/runtime(native): each unit of work carries one
+// virtual IPI whose cost comes from the measured Virtual IPI path.
+func (m HackbenchModel) Overhead(pc micro.PathCosts) float64 {
+	virt := m.WorkUsPerIPI + pc.Micros(pc.VirtIPI)
+	native := m.WorkUsPerIPI + m.NativeIPIUs
+	return virt / native
+}
+
+// CPUBoundModel covers kernbench and SPECjvm2008: virtualization overhead
+// comes from timer-tick deliveries plus a residual (cache/TLB pressure
+// from Stage-2 translation, one-time faults) the paper observes but does
+// not decompose.
+type CPUBoundModel struct {
+	Name string
+	// TicksPerSec is the guest timer frequency (CONFIG_HZ=250 in the
+	// paper's kernels) per VCPU.
+	TicksPerSec float64
+	// ResidualType2/Type1/X86 are the calibrated non-interrupt
+	// overhead fractions.
+	ResidualARMType2 float64
+	ResidualARMType1 float64
+	ResidualX86Type2 float64
+	ResidualX86Type1 float64
+}
+
+// Kernbench compiles Linux 3.17 with allnoconfig (Table IV).
+func Kernbench() CPUBoundModel {
+	return CPUBoundModel{
+		Name:             "Kernbench",
+		TicksPerSec:      250,
+		ResidualARMType2: 0.028,
+		ResidualARMType1: 0.038,
+		ResidualX86Type2: 0.048,
+		ResidualX86Type1: 0.038,
+	}
+}
+
+// SPECjvmSub is one SPECjvm2008 sub-benchmark's sensitivity profile.
+type SPECjvmSub struct {
+	// Name is the suite's sub-benchmark name.
+	Name string
+	// TickFactor scales the timer-tick sensitivity (GC-heavy
+	// sub-benchmarks take more ticks mid-pause; compiler-bound ones
+	// fewer).
+	TickFactor float64
+	// Residual is the sub-benchmark's cache/TLB-pressure overhead.
+	Residual float64
+}
+
+// SPECjvmSubs lists the suite's sub-benchmarks with calibrated profiles
+// (the suite aggregates by geometric mean; per-sub residuals bracket the
+// ~2% whole-suite overhead).
+func SPECjvmSubs() []SPECjvmSub {
+	return []SPECjvmSub{
+		{"compiler", 1.0, 0.015},
+		{"compress", 0.8, 0.010},
+		{"crypto", 0.8, 0.010},
+		{"derby", 1.4, 0.035}, // database-ish: most memory pressure
+		{"mpegaudio", 0.9, 0.012},
+		{"scimark.large", 1.0, 0.030}, // large working set: TLB pressure
+		{"scimark.small", 0.9, 0.008},
+		{"serial", 1.2, 0.022},
+		{"sunflow", 1.1, 0.018},
+		{"xml", 1.2, 0.025},
+	}
+}
+
+// SPECjvm2008 runs the Java benchmark suite on OpenJDK (Table IV). The
+// whole-suite overhead is the geometric mean over the sub-benchmarks, as
+// the suite's own scoring aggregates.
+func SPECjvm2008() CPUBoundModel {
+	subsARM := SPECjvmGeoResidual()
+	return CPUBoundModel{
+		Name:             "SPECjvm2008",
+		TicksPerSec:      250,
+		ResidualARMType2: subsARM,
+		ResidualARMType1: subsARM,
+		ResidualX86Type2: subsARM + 0.010, // older microarch pays more for EPT pressure
+		ResidualX86Type1: subsARM,
+	}
+}
+
+// SPECjvmGeoResidual aggregates the sub-benchmark residuals by geometric
+// mean of their (1+residual) slowdowns.
+func SPECjvmGeoResidual() float64 {
+	var slowdowns []float64
+	for _, s := range SPECjvmSubs() {
+		slowdowns = append(slowdowns, 1+s.Residual)
+	}
+	return statsGeoMean(slowdowns) - 1
+}
+
+// Overhead is runtime(virt)/runtime(native).
+func (m CPUBoundModel) Overhead(pc micro.PathCosts) float64 {
+	tickFrac := m.TicksPerSec * pc.Micros(pc.VirqDeliverBusy) / 1e6
+	res := m.ResidualARMType2
+	switch {
+	case pc.FreqMHz == 2100 && pc.Type1:
+		res = m.ResidualX86Type1
+	case pc.FreqMHz == 2100:
+		res = m.ResidualX86Type2
+	case pc.Type1:
+		res = m.ResidualARMType1
+	}
+	return 1 + tickFrac + res
+}

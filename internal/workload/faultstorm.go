@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/mem"
+	"armvirt/internal/sim"
+)
+
+// FaultStormResult reports the memory-virtualization warm-up experiment.
+type FaultStormResult struct {
+	Pages int
+	// ColdPerFault is the mean cost of a first touch (Stage-2 fault,
+	// hypervisor round trip, mapping).
+	ColdPerFault cpu.Cycles
+	// WarmPerTouch is the mean cost of re-touching mapped pages (table
+	// walks until the TLB warms, then nothing).
+	WarmPerTouch cpu.Cycles
+	// SteadyPerTouch is the cost once the TLB is hot (the §V claim:
+	// memory virtualization is performed largely without the
+	// hypervisor's involvement).
+	SteadyPerTouch cpu.Cycles
+}
+
+// FaultStorm models a guest touching its address space for the first time
+// (the "one-time page fault costs at start up" §V sets aside): n pages are
+// touched cold, then twice more warm.
+func FaultStorm(h hyp.Hypervisor, n int) FaultStormResult {
+	vm := h.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+	res := FaultStormResult{Pages: n}
+	hyp.Run(h, "fault-storm", v, func(p *sim.Proc, g *hyp.Guest) {
+		base := mem.IPA(0x4000_0000)
+		t0 := p.Now()
+		for i := 0; i < n; i++ {
+			g.TouchPage(p, base+mem.IPA(i)*mem.PageSize, true)
+		}
+		cold := p.Now() - t0
+		t1 := p.Now()
+		for i := 0; i < n; i++ {
+			g.TouchPage(p, base+mem.IPA(i)*mem.PageSize, false)
+		}
+		warm := p.Now() - t1
+		t2 := p.Now()
+		for i := 0; i < n; i++ {
+			g.TouchPage(p, base+mem.IPA(i)*mem.PageSize, false)
+		}
+		steady := p.Now() - t2
+		res.ColdPerFault = cpu.Cycles(cold) / cpu.Cycles(n)
+		res.WarmPerTouch = cpu.Cycles(warm) / cpu.Cycles(n)
+		res.SteadyPerTouch = cpu.Cycles(steady) / cpu.Cycles(n)
+	})
+	h.Machine().Eng.Run()
+	return res
+}

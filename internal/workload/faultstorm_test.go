@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"armvirt/internal/platform"
+)
+
+func TestFaultStormColdVsWarm(t *testing.T) {
+	r := FaultStorm(platform.NewKVMARM().Hyp(), 256)
+	if r.ColdPerFault < 8000 {
+		t.Errorf("KVM cold fault = %d cycles; must include the full world switch", r.ColdPerFault)
+	}
+	// §V: "ignoring one-time page fault costs at start up, [CPU and
+	// memory virtualization] is performed largely without the
+	// hypervisor's involvement" — warm touches cost nothing.
+	if r.WarmPerTouch != 0 || r.SteadyPerTouch != 0 {
+		t.Errorf("warm/steady touches = %d/%d cycles, want 0 (TLB hits, no exits)",
+			r.WarmPerTouch, r.SteadyPerTouch)
+	}
+}
+
+func TestFaultStormXenHandlesFaultsInEL2(t *testing.T) {
+	kvm := FaultStorm(platform.NewKVMARM().Hyp(), 128)
+	xen := FaultStorm(platform.NewXenARM().Hyp(), 128)
+	if xen.ColdPerFault >= kvm.ColdPerFault/3 {
+		t.Errorf("Xen cold fault %d vs KVM %d: EL2-resident handling should be far cheaper",
+			xen.ColdPerFault, kvm.ColdPerFault)
+	}
+}
+
+func TestFaultStormVHE(t *testing.T) {
+	base := FaultStorm(platform.NewKVMARM().Hyp(), 128)
+	vhe := FaultStorm(platform.NewKVMARMVHE().Hyp(), 128)
+	if vhe.ColdPerFault >= base.ColdPerFault/2 {
+		t.Errorf("VHE cold fault %d vs split-mode %d", vhe.ColdPerFault, base.ColdPerFault)
+	}
+}
+
+func TestFaultStormTLBThrash(t *testing.T) {
+	// More pages than the 512-entry TLB: warm touches still avoid the
+	// hypervisor entirely, but pay hardware table walks.
+	r := FaultStorm(platform.NewKVMARM().Hyp(), 1000)
+	if r.WarmPerTouch == 0 {
+		t.Error("thrashing the TLB should cost table walks")
+	}
+	// A walk is 4 levels x 30 cycles: pure hardware, no 6,500-cycle
+	// exits.
+	if r.WarmPerTouch > 200 {
+		t.Errorf("warm touch = %d cycles; walks must not involve the hypervisor", r.WarmPerTouch)
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"fmt"
+
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/sim"
+)
+
+// HackSimResult reports the hackbench discrete-event simulation.
+type HackSimResult struct {
+	// Wakeups is the number of cross-VCPU wakeups performed.
+	Wakeups int
+	// ElapsedUs is the measured runtime.
+	ElapsedUs float64
+	// PerWakeupUs is the mean cost of one work-unit + IPI round.
+	PerWakeupUs float64
+}
+
+// HackSim runs hackbench's defining pattern through the real hypervisor
+// mechanism: pairs of "processes" on different VCPUs wake each other with
+// rescheduling IPIs, doing a unit of scheduler/copy work per wakeup. The
+// paper (§V): "Hackbench involves running lots of threads that are
+// sleeping and waking up, requiring frequent IPIs for rescheduling."
+func HackSim(h hyp.Hypervisor, rounds int, workUs float64) HackSimResult {
+	vm := h.NewVM("vm0", []int{0, 1})
+	a, b := vm.VCPUs[0], vm.VCPUs[1]
+	eng := h.Machine().Eng
+	m := h.Machine()
+	us := func(x float64) sim.Time { return sim.Time(x * float64(m.Cost.FreqMHz)) }
+
+	res := HackSimResult{}
+	done := sim.NewQueue[sim.Time](eng, "hack-done")
+
+	// Peer B: sleeps until woken, does its work unit, wakes A back.
+	hyp.Run(h, "hack-b", b, func(p *sim.Proc, g *hyp.Guest) {
+		for i := 0; i < rounds; i++ {
+			virq := g.WaitVirq(p, true)
+			g.Complete(p, virq)
+			g.Compute(p, cpu.Cycles(us(workUs)))
+			g.SendIPI(p, a)
+		}
+	})
+	// Peer A drives the ping-pong.
+	hyp.Run(h, "hack-a", a, func(p *sim.Proc, g *hyp.Guest) {
+		t0 := p.Now()
+		for i := 0; i < rounds; i++ {
+			g.Compute(p, cpu.Cycles(us(workUs)))
+			g.SendIPI(p, b)
+			virq := g.WaitVirq(p, true)
+			g.Complete(p, virq)
+		}
+		elapsed := p.Now() - t0
+		res.Wakeups = rounds * 2
+		res.ElapsedUs = float64(elapsed) / float64(m.Cost.FreqMHz)
+		res.PerWakeupUs = res.ElapsedUs / float64(res.Wakeups)
+		done.Send(elapsed)
+	})
+	eng.Run()
+	if res.Wakeups == 0 {
+		panic("workload: hackbench simulation did not complete")
+	}
+	return res
+}
+
+// HackSimOverhead runs the simulation on a platform and derives the
+// Figure 4 metric against an ideal native run (same work, native-cost
+// IPIs), validating HackbenchModel.
+func HackSimOverhead(h hyp.Hypervisor, rounds int, workUs, nativeIPIUs float64) float64 {
+	r := HackSim(h, rounds, workUs)
+	nativePerWakeup := workUs + nativeIPIUs
+	return r.PerWakeupUs / nativePerWakeup
+}
+
+func (r HackSimResult) String() string {
+	return fmt.Sprintf("%d wakeups, %.1fus each", r.Wakeups, r.PerWakeupUs)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"armvirt/internal/platform"
+)
+
+func TestHackSimValidatesHackbenchModel(t *testing.T) {
+	m := Hackbench()
+	for _, label := range []string{"KVM ARM", "Xen ARM"} {
+		pc := pcFor(t, label)
+		analytic := m.Overhead(pc)
+		h := platform.NewKVMARM().Hyp()
+		if label == "Xen ARM" {
+			h = platform.NewXenARM().Hyp()
+		}
+		simulated := HackSimOverhead(h, 50, m.WorkUsPerIPI, m.NativeIPIUs)
+		if d := math.Abs(simulated-analytic) / analytic; d > 0.05 {
+			t.Errorf("%s: DES overhead %.3f vs analytic %.3f", label, simulated, analytic)
+		}
+	}
+}
+
+func TestHackSimPerWakeupCostsIncludeIPIPath(t *testing.T) {
+	// 0 work isolates the IPI machinery: each wakeup costs roughly the
+	// Virtual IPI path (plus completion and spin-side handling).
+	r := HackSim(platform.NewKVMARM().Hyp(), 30, 0)
+	perWakeupCycles := r.PerWakeupUs * float64(platform.ARMFreqMHz)
+	if perWakeupCycles < 5000 || perWakeupCycles > 20000 {
+		t.Errorf("per-wakeup = %.0f cycles; expected Virtual-IPI scale (11,557)", perWakeupCycles)
+	}
+}
+
+func TestHackSimXenFasterThanKVM(t *testing.T) {
+	k := HackSim(platform.NewKVMARM().Hyp(), 30, 10)
+	x := HackSim(platform.NewXenARM().Hyp(), 30, 10)
+	if x.PerWakeupUs >= k.PerWakeupUs {
+		t.Errorf("Xen per-wakeup %.1fus should beat KVM's %.1fus (faster virtual IPIs)",
+			x.PerWakeupUs, k.PerWakeupUs)
+	}
+}
+
+func TestOversubscriptionEfficiency(t *testing.T) {
+	// 1 ms quanta: switch cost (~10k cycles = 4.3us) is ~0.4% per
+	// quantum.
+	r := Oversubscribe(platform.NewKVMARM().Hyp(), 2, 1000, 40)
+	if r.Efficiency < 0.98 {
+		t.Errorf("1ms quanta: efficiency %.3f, want ~0.995", r.Efficiency)
+	}
+	// 20 us quanta: the 4.3us switch eats ~18%.
+	r = Oversubscribe(platform.NewKVMARM().Hyp(), 2, 20, 40)
+	if r.Efficiency > 0.90 || r.Efficiency < 0.70 {
+		t.Errorf("20us quanta: efficiency %.3f, want ~0.82", r.Efficiency)
+	}
+	if r.Switches != 40 {
+		t.Errorf("switches = %d", r.Switches)
+	}
+}
+
+func TestOversubscriptionXenVsKVM(t *testing.T) {
+	// Xen's cheaper VM switch (8,799 vs 10,387 cycles) shows up directly
+	// in fine-grained time sharing.
+	k := Oversubscribe(platform.NewKVMARM().Hyp(), 4, 50, 40)
+	x := Oversubscribe(platform.NewXenARM().Hyp(), 4, 50, 40)
+	if x.Efficiency <= k.Efficiency {
+		t.Errorf("Xen efficiency %.3f should exceed KVM's %.3f", x.Efficiency, k.Efficiency)
+	}
+}
+
+func TestWeightedSharesFollowCredits(t *testing.T) {
+	shares := WeightedShares(platform.NewXenARM().Hyp(), []int{512, 256}, 100, 200)
+	ratio := shares["vm0"] / shares["vm1"]
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("share ratio = %.2f (shares %v), want ~2 per credit weights", ratio, shares)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestWeightedSharesEqualWeights(t *testing.T) {
+	shares := WeightedShares(platform.NewKVMARM().Hyp(), []int{256, 256, 256}, 100, 300)
+	for name, s := range shares {
+		if math.Abs(s-1.0/3) > 0.08 {
+			t.Errorf("%s share = %.3f, want ~1/3", name, s)
+		}
+	}
+}
+
+func TestOversubscribeRejectsSingleVM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Oversubscribe(platform.NewKVMARM().Hyp(), 1, 100, 10)
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/sched"
+	"armvirt/internal/sim"
+)
+
+// OversubResult reports the CPU-oversubscription experiment.
+type OversubResult struct {
+	// VMs is the number of VMs time-sharing the core.
+	VMs int
+	// QuantumUs is the scheduling quantum.
+	QuantumUs float64
+	// Switches is the number of VM switches performed.
+	Switches int
+	// Efficiency is useful guest cycles divided by total cycles: the
+	// fraction of the core not burned on VM switching.
+	Efficiency float64
+}
+
+func (r OversubResult) String() string {
+	return fmt.Sprintf("%d VMs @ %.0fus quantum: %.1f%% efficient (%d switches)",
+		r.VMs, r.QuantumUs, r.Efficiency*100, r.Switches)
+}
+
+// Oversubscribe time-shares one physical core among n CPU-bound VMs with
+// round-robin quanta, paying the hypervisor's full VM-switch path at each
+// boundary — the scenario Table II's VM Switch row prices ("a central cost
+// when oversubscribing physical CPUs"). Efficiency falls as the quantum
+// shrinks toward the switch cost.
+func Oversubscribe(h hyp.Hypervisor, n int, quantumUs float64, quanta int) OversubResult {
+	if n < 2 {
+		panic("workload: oversubscription needs at least 2 VMs")
+	}
+	var vcpus []*hyp.VCPU
+	for i := 0; i < n; i++ {
+		vm := h.NewVM(fmt.Sprintf("vm%d", i), []int{0})
+		vcpus = append(vcpus, vm.VCPUs[0])
+	}
+	m := h.Machine()
+	quantum := sim.Time(quantumUs * float64(m.Cost.FreqMHz))
+
+	res := OversubResult{VMs: n, QuantumUs: quantumUs}
+	var useful, total sim.Time
+	m.Eng.Go("oversub-sched", func(p *sim.Proc) {
+		t0 := p.Now()
+		h.EnterGuest(p, vcpus[0])
+		cur := 0
+		for q := 0; q < quanta; q++ {
+			vcpus[cur].Charge(p, "guest compute", cpu.Cycles(quantum))
+			useful += quantum
+			next := (cur + 1) % n
+			h.SwitchVM(p, vcpus[cur], vcpus[next])
+			res.Switches++
+			cur = next
+		}
+		h.ExitGuest(p, vcpus[cur])
+		total = p.Now() - t0
+	})
+	m.Eng.Run()
+	res.Efficiency = float64(useful) / float64(total)
+	return res
+}
+
+// WeightedShares time-shares one core among VMs with the given credit
+// weights under the Xen-style credit scheduler, paying real VM switches at
+// each quantum boundary (switches are skipped when the scheduler re-picks
+// the running VM). It returns each VM's achieved share of useful time.
+func WeightedShares(h hyp.Hypervisor, weights []int, quantumUs float64, quanta int) map[string]float64 {
+	if len(weights) < 2 {
+		panic("workload: weighted sharing needs at least 2 VMs")
+	}
+	cs := sched.NewCreditScheduler(300)
+	byName := map[string]*hyp.VCPU{}
+	var creditVCPUs []*sched.CreditVCPU
+	for i, w := range weights {
+		name := fmt.Sprintf("vm%d", i)
+		vm := h.NewVM(name, []int{0})
+		byName[name] = vm.VCPUs[0]
+		creditVCPUs = append(creditVCPUs, cs.Add(name, w))
+	}
+	m := h.Machine()
+	quantum := sim.Time(quantumUs * float64(m.Cost.FreqMHz))
+	useful := map[string]sim.Time{}
+	var totalUseful sim.Time
+
+	m.Eng.Go("credit-sched", func(p *sim.Proc) {
+		first := cs.PickNext()
+		cur := byName[first.Name]
+		h.EnterGuest(p, cur)
+		slicesPerPeriod := 10
+		for q := 0; q < quanta; q++ {
+			if q%slicesPerPeriod == 0 {
+				cs.Refill()
+			}
+			pick := cs.PickNext()
+			next := byName[pick.Name]
+			if next != cur {
+				h.SwitchVM(p, cur, next)
+				cur = next
+			}
+			cur.Charge(p, "guest compute", cpu.Cycles(quantum))
+			cs.Burn(pick, 300/slicesPerPeriod)
+			useful[pick.Name] += quantum
+			totalUseful += quantum
+		}
+		h.ExitGuest(p, cur)
+	})
+	m.Eng.Run()
+
+	out := map[string]float64{}
+	for name, u := range useful {
+		out[name] = float64(u) / float64(totalUseful)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"armvirt/internal/micro"
+	"armvirt/internal/sched"
+	"armvirt/internal/sim"
+)
+
+// ServeSimConfig drives the request-serving discrete-event simulation: the
+// same system the AppModel capacity formulas describe, executed as actual
+// concurrent requests against per-VCPU execution resources. It exists to
+// validate the analytic model — and to expose behaviour the closed form
+// hides, like the queueing transient near the VCPU0 saturation point.
+type ServeSimConfig struct {
+	// Model supplies per-request work and event mix.
+	Model AppModel
+	// EventUs is the per-event interrupt handling cost (from the
+	// platform's measured delivery path for virtualized runs, or the
+	// model's native cost).
+	EventUs float64
+	// Distributed spreads events round-robin across VCPUs instead of
+	// concentrating them on VCPU0.
+	Distributed bool
+	// Concurrency is the number of in-flight requests (ApacheBench ran
+	// 100 concurrent connections).
+	Concurrency int
+	// Requests is the total request count to process.
+	Requests int
+	// FreqMHz converts µs to cycles.
+	FreqMHz int
+}
+
+// ServeSimResult reports the simulated outcome.
+type ServeSimResult struct {
+	// RPS is requests per second.
+	RPS float64
+	// VCPUBusy is each VCPU's busy fraction over the run.
+	VCPUBusy []float64
+	// BottleneckVCPU is the index of the busiest VCPU.
+	BottleneckVCPU int
+}
+
+func (r ServeSimResult) String() string {
+	return fmt.Sprintf("%.0f req/s (bottleneck vcpu%d at %.0f%%)",
+		r.RPS, r.BottleneckVCPU, 100*r.VCPUBusy[r.BottleneckVCPU])
+}
+
+// ServeSim runs the serving workload as a discrete-event simulation:
+// Concurrency request fibers loop — each request first pays its interrupt
+// events (on VCPU0, or round-robin when distributed), then its application
+// work on the least-loaded VCPU — until Requests complete.
+func ServeSim(cfg ServeSimConfig) ServeSimResult {
+	if cfg.Concurrency <= 0 || cfg.Requests <= 0 || cfg.FreqMHz <= 0 {
+		panic("workload: ServeSim needs positive concurrency, requests, frequency")
+	}
+	nv := int(cfg.Model.VCPUs)
+	if nv <= 0 {
+		nv = 4
+	}
+	eng := sim.NewEngine()
+	us := func(x float64) sim.Time { return sim.Time(x * float64(cfg.FreqMHz)) }
+	vcpus := sched.NewDispatcher(eng, "vcpu", nv)
+
+	remaining := cfg.Requests
+	var finish sim.Time
+	events := int(cfg.Model.Events)
+	rr := 0
+	for c := 0; c < cfg.Concurrency; c++ {
+		eng.Go(fmt.Sprintf("conn%d", c), func(p *sim.Proc) {
+			for {
+				if remaining <= 0 {
+					return
+				}
+				remaining--
+				for e := 0; e < events; e++ {
+					target := 0
+					if cfg.Distributed {
+						target = rr % nv
+						rr++
+					}
+					vcpus.ExecOn(p, target, us(cfg.EventUs))
+				}
+				vcpus.ExecBalanced(p, us(cfg.Model.WorkUs))
+				if p.Now() > finish {
+					finish = p.Now()
+				}
+			}
+		})
+	}
+	eng.Run()
+
+	res := ServeSimResult{VCPUBusy: vcpus.BusyFractions(finish)}
+	res.RPS = float64(cfg.Requests) / (float64(finish) / float64(cfg.FreqMHz)) * 1e6
+	for i, b := range res.VCPUBusy {
+		if b > res.VCPUBusy[res.BottleneckVCPU] {
+			res.BottleneckVCPU = i
+		}
+	}
+	return res
+}
+
+// ServeSimOverhead runs the simulation natively and virtualized and
+// returns the Figure 4 metric, mirroring AppModel.Overhead but measured
+// rather than computed.
+func ServeSimOverhead(m AppModel, pc micro.PathCosts, distributed bool, requests int) float64 {
+	base := ServeSimConfig{
+		Model: m, Concurrency: 100, Requests: requests, FreqMHz: pc.FreqMHz,
+	}
+	nat := base
+	nat.EventUs = m.NativeEventUs
+	nat.Distributed = true // native interrupt placement does not matter (§V, verified natively)
+	virt := base
+	virt.EventUs = m.eventUs(pc)
+	if distributed && pc.Type1 && m.DistributedFactorType1 > 0 {
+		virt.EventUs *= m.DistributedFactorType1
+	}
+	virt.Distributed = distributed
+	o := ServeSim(nat).RPS / ServeSim(virt).RPS
+	if o < 1 {
+		return 1
+	}
+	return o
+}

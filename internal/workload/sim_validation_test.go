@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// The discrete-event simulations must agree with the capacity/event-mix
+// models they validate: the closed forms are what the harness uses, the
+// simulations are the evidence they are right.
+
+func relDiff(a, b float64) float64 { return math.Abs(a-b) / b }
+
+func TestServeSimValidatesApacheModel(t *testing.T) {
+	kvm := pcFor(t, "KVM ARM")
+	xen := pcFor(t, "Xen ARM")
+	m := Apache()
+	for _, c := range []struct {
+		label string
+		dist  bool
+	}{
+		{"KVM concentrated", false},
+		{"KVM distributed", true},
+	} {
+		analytic := m.Overhead(kvm, c.dist)
+		simulated := ServeSimOverhead(m, kvm, c.dist, 3000)
+		if relDiff(simulated, analytic) > 0.10 {
+			t.Errorf("%s: DES %.3f vs analytic %.3f (>10%% apart)", c.label, simulated, analytic)
+		}
+	}
+	// Xen concentrated: the big one (84% overhead).
+	analytic := m.Overhead(xen, false)
+	simulated := ServeSimOverhead(m, xen, false, 3000)
+	if relDiff(simulated, analytic) > 0.10 {
+		t.Errorf("Xen concentrated: DES %.3f vs analytic %.3f", simulated, analytic)
+	}
+}
+
+func TestServeSimShowsVCPU0Bottleneck(t *testing.T) {
+	kvm := pcFor(t, "KVM ARM")
+	m := Apache()
+	conc := ServeSim(ServeSimConfig{
+		Model: m, EventUs: m.eventUs(kvm), Distributed: false,
+		Concurrency: 100, Requests: 3000, FreqMHz: kvm.FreqMHz,
+	})
+	if conc.BottleneckVCPU != 0 {
+		t.Errorf("concentrated bottleneck on vcpu%d, want vcpu0", conc.BottleneckVCPU)
+	}
+	if conc.VCPUBusy[0] < 0.95 {
+		t.Errorf("vcpu0 busy = %.2f, should be saturated", conc.VCPUBusy[0])
+	}
+	dist := ServeSim(ServeSimConfig{
+		Model: m, EventUs: m.eventUs(kvm), Distributed: true,
+		Concurrency: 100, Requests: 3000, FreqMHz: kvm.FreqMHz,
+	})
+	if dist.RPS <= conc.RPS {
+		t.Errorf("distribution should raise throughput: %.0f -> %.0f", conc.RPS, dist.RPS)
+	}
+	// Distributed: load should even out across VCPUs.
+	spread := dist.VCPUBusy[dist.BottleneckVCPU] - minF(dist.VCPUBusy)
+	if spread > 0.15 {
+		t.Errorf("distributed spread %.2f too wide: %v", spread, dist.VCPUBusy)
+	}
+}
+
+func minF(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestStreamSimValidatesCapacityModel(t *testing.T) {
+	prm := DefaultParams()
+	kvm := pcFor(t, "KVM ARM")
+	xen := pcFor(t, "Xen ARM")
+
+	kvmModel := TCPStream(kvm, prm, true).Gbps
+	kvmSim := StreamSim(StreamSimConfig{Packets: 3000, Xen: false, PC: kvm, Params: prm})
+	if relDiff(kvmSim, kvmModel) > 0.10 {
+		t.Errorf("KVM stream: DES %.2f Gbps vs model %.2f Gbps", kvmSim, kvmModel)
+	}
+
+	xenModel := TCPStream(xen, prm, true).Gbps
+	xenSim := StreamSim(StreamSimConfig{Packets: 3000, Xen: true, PC: xen, Params: prm})
+	if relDiff(xenSim, xenModel) > 0.10 {
+		t.Errorf("Xen stream: DES %.2f Gbps vs model %.2f Gbps", xenSim, xenModel)
+	}
+	if xenSim > kvmSim/2 {
+		t.Errorf("grant-copy Xen (%.2f) should run well under half of zero-copy KVM (%.2f)", xenSim, kvmSim)
+	}
+}
+
+func TestServeSimDeterminism(t *testing.T) {
+	kvm := pcFor(t, "KVM ARM")
+	m := Memcached()
+	cfg := ServeSimConfig{Model: m, EventUs: m.eventUs(kvm), Concurrency: 50, Requests: 1000, FreqMHz: kvm.FreqMHz}
+	a, b := ServeSim(cfg), ServeSim(cfg)
+	if a.RPS != b.RPS {
+		t.Fatalf("nondeterministic: %.2f vs %.2f", a.RPS, b.RPS)
+	}
+}

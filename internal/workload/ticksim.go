@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"armvirt/internal/cpu"
+	"armvirt/internal/hyp"
+	"armvirt/internal/sim"
+	"armvirt/internal/timer"
+)
+
+// TickSimResult reports the timer-tick overhead simulation.
+type TickSimResult struct {
+	// Ticks is how many timer interrupts the guest handled.
+	Ticks int
+	// ComputeCycles is the pure computation demand.
+	ComputeCycles cpu.Cycles
+	// ElapsedCycles is the wall time including virtualization overhead.
+	ElapsedCycles cpu.Cycles
+	// Overhead is Elapsed/Compute.
+	Overhead float64
+}
+
+// TickSim runs a CPU-bound guest (kernbench-style) for computeMs of pure
+// work with a hz-rate guest timer, using the real virtual-timer hardware
+// model: the guest programs CNTV without trapping, expiry raises a
+// physical PPI taken to the hypervisor, which injects the timer virq
+// (§II's timer asymmetry). The result validates CPUBoundModel's
+// tick-overhead component mechanistically. ARM platforms only.
+func TickSim(h hyp.Hypervisor, computeMs float64, hz int) TickSimResult {
+	m := h.Machine()
+	if m.Dist == nil {
+		panic("workload: TickSim requires an ARM platform")
+	}
+	eng := m.Eng
+	vm := h.NewVM("vm0", []int{0})
+	v := vm.VCPUs[0]
+
+	freq := float64(m.Cost.FreqMHz)
+	total := cpu.Cycles(computeMs * 1000 * freq)
+	period := sim.Time(1e6 / float64(hz) * freq) // µs per tick × cycles per µs
+	slice := sim.Time(50 * freq)                 // poll interrupts every 50 µs of work
+
+	vt := timer.NewVirtualTimer(eng, 0, func(pcpu int) { m.Dist.RaisePPI(pcpu, timer.VirtTimerPPI) })
+
+	res := TickSimResult{ComputeCycles: total}
+	hyp.Run(h, "kernbench-guest", v, func(p *sim.Proc, g *hyp.Guest) {
+		start := p.Now()
+		stop := timer.PeriodicTick(eng, vt, period, nil)
+		remaining := sim.Time(total)
+		for remaining > 0 {
+			step := slice
+			if remaining < step {
+				step = remaining
+			}
+			g.Compute(p, cpu.Cycles(step))
+			remaining -= step
+			// Service any timer interrupts that fired during the slice
+			// (the compute is preemptible at this granularity).
+			for {
+				d, ok := v.CPU.IRQ.TryRecv()
+				if !ok {
+					break
+				}
+				h.HandlePhysIRQ(p, v, d)
+				if virq := v.VisiblePendingVirq(); virq != -1 {
+					v.AckVirq(virq)
+					g.Complete(p, virq)
+					res.Ticks++
+				}
+			}
+		}
+		stop()
+		res.ElapsedCycles = cpu.Cycles(p.Now() - start)
+	})
+	eng.Run()
+	res.Overhead = float64(res.ElapsedCycles) / float64(res.ComputeCycles)
+	return res
+}

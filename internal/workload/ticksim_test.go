@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"armvirt/internal/platform"
+)
+
+func TestTickSimCountsTicks(t *testing.T) {
+	// 200 ms at 250 Hz: 50 ticks.
+	r := TickSim(platform.NewKVMARM().Hyp(), 200, 250)
+	if r.Ticks < 48 || r.Ticks > 51 {
+		t.Fatalf("ticks = %d, want ~50", r.Ticks)
+	}
+	if r.Overhead <= 1.0 {
+		t.Fatal("tick handling must cost something")
+	}
+}
+
+func TestTickSimMatchesCPUBoundModelTickComponent(t *testing.T) {
+	// The DES's measured per-tick cost must agree with the
+	// VirqDeliverBusy path the analytic model uses.
+	pc := pcFor(t, "KVM ARM")
+	r := TickSim(platform.NewKVMARM().Hyp(), 200, 250)
+	perTickSim := float64(r.ElapsedCycles-r.ComputeCycles) / float64(r.Ticks)
+	perTickModel := float64(pc.VirqDeliverBusy)
+	if d := math.Abs(perTickSim-perTickModel) / perTickModel; d > 0.15 {
+		t.Errorf("per-tick cost: DES %.0f vs model %.0f cycles (%.0f%% apart)",
+			perTickSim, perTickModel, d*100)
+	}
+}
+
+func TestTickSimXenCheaperPerTick(t *testing.T) {
+	kvm := TickSim(platform.NewKVMARM().Hyp(), 100, 250)
+	xen := TickSim(platform.NewXenARM().Hyp(), 100, 250)
+	perKVM := float64(kvm.ElapsedCycles-kvm.ComputeCycles) / float64(kvm.Ticks)
+	perXen := float64(xen.ElapsedCycles-xen.ComputeCycles) / float64(xen.Ticks)
+	// Xen handles the trap entirely in EL2: each tick is much cheaper.
+	if perXen >= perKVM/1.5 {
+		t.Errorf("per-tick: Xen %.0f vs KVM %.0f cycles; Xen should be far cheaper", perXen, perKVM)
+	}
+}
+
+func TestTickSimVHECollapsesTickCost(t *testing.T) {
+	base := TickSim(platform.NewKVMARM().Hyp(), 100, 250)
+	vhe := TickSim(platform.NewKVMARMVHE().Hyp(), 100, 250)
+	perBase := float64(base.ElapsedCycles-base.ComputeCycles) / float64(base.Ticks)
+	perVHE := float64(vhe.ElapsedCycles-vhe.ComputeCycles) / float64(vhe.Ticks)
+	if perVHE >= perBase/3 {
+		t.Errorf("per-tick: VHE %.0f vs split-mode %.0f cycles", perVHE, perBase)
+	}
+}
+
+func TestTickSimRequiresARM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("x86 TickSim should panic (no GIC distributor)")
+		}
+	}()
+	TickSim(platform.NewKVMX86().Hyp(), 10, 250)
+}
