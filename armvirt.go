@@ -74,6 +74,19 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// FreqMHz returns the platform clock rate for this configuration: the x86
+// server's for the x86 Kinds, the ARM server's for everything else. This
+// is the single place the clock choice lives, so a new Kind cannot
+// silently pick up the wrong frequency.
+func (k Kind) FreqMHz() int {
+	switch k {
+	case KVMX86, XenX86:
+		return platform.X86FreqMHz
+	default:
+		return platform.ARMFreqMHz
+	}
+}
+
 func (k Kind) factory() func() hyp.Hypervisor {
 	switch k {
 	case KVMARM:
@@ -120,10 +133,7 @@ type MicroResult struct {
 // RunMicrobenchmarks executes the seven Table I microbenchmarks and
 // returns them in Table II order.
 func (s *System) RunMicrobenchmarks() []MicroResult {
-	freq := float64(platform.ARMFreqMHz)
-	if s.kind == KVMX86 || s.kind == XenX86 {
-		freq = float64(platform.X86FreqMHz)
-	}
+	freq := float64(s.kind.FreqMHz())
 	var out []MicroResult
 	for _, r := range micro.RunAll(s.kind.factory()) {
 		out = append(out, MicroResult{

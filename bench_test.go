@@ -17,6 +17,7 @@ import (
 	"armvirt/internal/hyp/kvm"
 	"armvirt/internal/hyp/xen"
 	"armvirt/internal/micro"
+	"armvirt/internal/obs"
 	"armvirt/internal/platform"
 	"armvirt/internal/workload"
 )
@@ -235,6 +236,33 @@ func BenchmarkAblation_VAPIC(b *testing.B) {
 			b.ReportMetric(float64(c), "cycles")
 		})
 	}
+}
+
+// ---- observability overhead ----
+
+// BenchmarkObs_Recorder measures what the tracing layer costs a full
+// TCP_RR run: "disabled" is the nil-recorder path every hook pays when
+// observability is off, "enabled" records the full event stream.
+func BenchmarkObs_Recorder(b *testing.B) {
+	prm := workload.DefaultParams()
+	run := func(b *testing.B, record bool) {
+		var total int64
+		for i := 0; i < b.N; i++ {
+			h := KVMARM.factory()()
+			m := h.Machine()
+			if record {
+				rec := obs.NewRecorder(m.NCPU(), 0)
+				m.SetRecorder(rec)
+				workload.TCPRRVirt(h, prm)
+				total = rec.Total()
+			} else {
+				workload.TCPRRVirt(h, prm)
+			}
+		}
+		b.ReportMetric(float64(total), "events")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("enabled", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAblation_VGICRead shrinks the 3,250-cycle VGIC save to the cost

@@ -2,22 +2,25 @@
 // operation on one platform — the Table III methodology applied anywhere:
 //
 //	armvirt-trace -platform "Xen ARM" -op vmswitch
-//	armvirt-trace -platform "KVM ARM" -op stage2fault
+//	armvirt-trace -platform "KVM ARM" -op stage2fault -trace-out /tmp/t.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"armvirt/internal/bench"
 	"armvirt/internal/micro"
+	"armvirt/internal/obs"
 )
 
 func main() {
 	platformFlag := flag.String("platform", "KVM ARM", `platform ("KVM ARM", "Xen ARM", "KVM x86", "Xen x86", "KVM ARM (VHE)")`)
 	op := flag.String("op", "hypercall", "operation: "+strings.Join(micro.TracedOps, ", "))
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline of the traced run to this file")
 	flag.Parse()
 
 	factories := bench.Factories()
@@ -26,18 +29,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platformFlag)
 		os.Exit(2)
 	}
-	valid := false
-	for _, o := range micro.TracedOps {
-		if o == *op {
-			valid = true
-		}
-	}
-	if !valid {
+	if !slices.Contains(micro.TracedOps, *op) {
 		fmt.Fprintf(os.Stderr, "unknown op %q; choose one of %v\n", *op, micro.TracedOps)
 		os.Exit(2)
 	}
 
-	r := micro.TraceOp(factory(), *op)
+	h := factory()
+	m := h.Machine()
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(m.NCPU(), 0)
+		m.SetRecorder(rec)
+	}
+
+	r := micro.TraceOp(h, *op)
 	fmt.Printf("%s on %s: %d cycles\n\n", r.Name, *platformFlag, r.Cycles)
 	fmt.Print(r.Breakdown.String())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, rec, m.Cost.FreqMHz); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", rec.Total(), *traceOut)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"armvirt/internal/cpu"
 	"armvirt/internal/hyp"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 	"armvirt/internal/stats"
 	"armvirt/internal/vio"
@@ -217,6 +218,7 @@ func RunVirt(h hyp.Hypervisor, disk *Disk, cfg BenchConfig) BenchResult {
 				}
 				req := inflight[pk.Seq]
 				delete(inflight, pk.Seq)
+				v.Emit(obs.IOKick, "blk-complete", pk.Seq)
 				req.Completed = p.Now()
 				lat.Add(float64(req.Latency()) / float64(freqMHz))
 				completed++

@@ -18,6 +18,7 @@ package gic
 import (
 	"fmt"
 
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -61,6 +62,15 @@ type Distributor struct {
 	sink   func(Delivery)
 	enable map[IRQ]bool
 	target map[IRQ]int // SPI routing target CPU
+	// Rec, when non-nil, receives a PhysIRQ event for every delivery the
+	// distributor hands to a CPU (set via hw.Machine.SetRecorder).
+	Rec *obs.Recorder
+}
+
+// deliver stamps the delivery for observability and hands it to the sink.
+func (d *Distributor) deliver(dv Delivery) {
+	d.Rec.Emit(d.eng.Now(), obs.PhysIRQ, dv.CPU, "", -1, dv.IRQ.Class(), int64(dv.IRQ))
+	d.sink(dv)
 }
 
 // NewDistributor creates a distributor for nCPU physical CPUs. Deliveries
@@ -108,7 +118,7 @@ func (d *Distributor) SendSGI(to int, irq IRQ) {
 		panic(fmt.Sprintf("gic: SendSGI with %v (%s)", irq, irq.Class()))
 	}
 	d.checkCPU(to)
-	d.eng.After(d.wire, func() { d.sink(Delivery{CPU: to, IRQ: irq}) })
+	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: to, IRQ: irq}) })
 }
 
 // RaisePPI delivers a private peripheral interrupt (e.g. a timer) to its CPU.
@@ -117,7 +127,7 @@ func (d *Distributor) RaisePPI(cpu int, irq IRQ) {
 		panic(fmt.Sprintf("gic: RaisePPI with %v (%s)", irq, irq.Class()))
 	}
 	d.checkCPU(cpu)
-	d.eng.After(d.wire, func() { d.sink(Delivery{CPU: cpu, IRQ: irq}) })
+	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: cpu, IRQ: irq}) })
 }
 
 // RaiseSPI delivers a shared peripheral interrupt (e.g. the NIC) to its
@@ -130,7 +140,7 @@ func (d *Distributor) RaiseSPI(irq IRQ) {
 		return
 	}
 	cpu := d.target[irq]
-	d.eng.After(d.wire, func() { d.sink(Delivery{CPU: cpu, IRQ: irq}) })
+	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: cpu, IRQ: irq}) })
 }
 
 func (d *Distributor) checkCPU(cpu int) {

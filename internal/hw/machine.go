@@ -10,6 +10,7 @@ import (
 	"armvirt/internal/cpu"
 	"armvirt/internal/gic"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -58,6 +59,10 @@ type Machine struct {
 	TLB *mem.TLB
 	// VAPIC records whether APIC virtualization is on (x86).
 	VAPIC bool
+	// Rec is the machine's observability recorder; nil (the default)
+	// records nothing. Attach one with SetRecorder before running
+	// experiments.
+	Rec *obs.Recorder
 }
 
 // New builds a machine per cfg.
@@ -111,6 +116,25 @@ func New(cfg Config) *Machine {
 // NCPU returns the physical core count.
 func (m *Machine) NCPU() int { return len(m.CPUs) }
 
+// SetRecorder attaches (or, with nil, detaches) an observability recorder.
+// The recorder is wired into every layer the machine owns: the GIC
+// distributor's physical-interrupt deliveries and the engine's process
+// lifecycle tap. Hypervisor and I/O layers reach the recorder through
+// m.Rec.
+func (m *Machine) SetRecorder(r *obs.Recorder) {
+	m.Rec = r
+	if m.Dist != nil {
+		m.Dist.Rec = r
+	}
+	if r == nil {
+		m.Eng.SetProcTap(nil)
+		return
+	}
+	m.Eng.SetProcTap(func(t sim.Time, what, name string) {
+		r.Emit(t, obs.ProcEvent, -1, "", -1, what+" "+name, 0)
+	})
+}
+
 // SendIPI dispatches a physical IPI from the current context to a target
 // CPU: the sender pays the dispatch cost; delivery lands in the target's
 // IRQ inbox after the wire latency. On x86 there is no distributor; the
@@ -122,6 +146,7 @@ func (m *Machine) SendIPI(p *sim.Proc, to int, irq gic.IRQ) {
 		return
 	}
 	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, to, "", -1, "IPI", int64(irq))
 		m.CPUs[to].IRQ.Send(gic.Delivery{CPU: to, IRQ: irq})
 	})
 }
@@ -137,6 +162,7 @@ func (m *Machine) RaiseDeviceIRQ(irq gic.IRQ, target int) {
 		return
 	}
 	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, target, "", -1, "MSI", int64(irq))
 		m.CPUs[target].IRQ.Send(gic.Delivery{CPU: target, IRQ: irq})
 	})
 }

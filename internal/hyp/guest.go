@@ -4,6 +4,7 @@ import (
 	"armvirt/internal/cpu"
 	"armvirt/internal/gic"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -13,6 +14,7 @@ import (
 // copy of the VGIC state while in the host — §IV), or the LAPIC IRR on
 // x86.
 func (v *VCPU) InjectVirq(virq gic.IRQ) {
+	v.Emit(obs.VirqInject, "", int64(virq))
 	if v.CPU.P.Arch() == cpu.X86 {
 		v.CPU.LAPIC.InjectVirtual(virq)
 		return

@@ -12,6 +12,7 @@ import (
 	"armvirt/internal/gic"
 	"armvirt/internal/hw"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 	"armvirt/internal/trace"
 )
@@ -99,12 +100,24 @@ type VCPU struct {
 	Exits map[string]int64
 }
 
-// CountExit records one VM exit with the given reason.
+// Emit publishes a structured observability event for this VCPU, stamped
+// with the current simulation time and the VCPU's pinned physical CPU.
+// No-op when the machine has no recorder attached.
+func (v *VCPU) Emit(k obs.Kind, detail string, arg int64) {
+	m := v.VM.Hyp.Machine()
+	m.Rec.Emit(m.Eng.Now(), k, v.CPU.P.ID(), v.VM.Name, v.ID, detail, arg)
+}
+
+// CountExit records one VM exit with the given reason. It is the single
+// choke point every hypervisor implementation routes exits through, so it
+// also publishes the GuestExit event: the gap from here to the VCPU's next
+// GuestEnter is the exit's full not-in-guest cost.
 func (v *VCPU) CountExit(reason string) {
 	if v.Exits == nil {
 		v.Exits = map[string]int64{}
 	}
 	v.Exits[reason]++
+	v.Emit(obs.GuestExit, reason, 0)
 }
 
 // TotalExits sums all recorded exits.

@@ -8,6 +8,7 @@ import (
 	"armvirt/internal/hw"
 	"armvirt/internal/hyp"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -211,6 +212,7 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.RequireGuestRunnable(v.Ctx)
 	}
 	v.InGuest = true
+	v.Emit(obs.GuestEnter, "", 0)
 }
 
 // EnterGuest implements hyp.Hypervisor. For x86 the first entry loads the
@@ -281,6 +283,9 @@ func (k *KVM) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	k.exitToHost(p, v)
 	v.Charge(p, "host: deschedule VCPU thread", k.c.BlockVCPU)
 	d := v.CPU.IRQ.Recv(p)
+	// The wake is a host-scheduler context switch from the idle thread
+	// back onto the VCPU thread: the PCPU changes VM context.
+	v.Emit(obs.VMSwitch, "vcpu-wake", int64(d.IRQ))
 	v.Charge(p, "host IRQ entry + VCPU thread wake", k.c.VCPUWake)
 	v.Charge(p, "host GIC ack/EOI", k.c.PhysIRQAck)
 	for _, virq := range hyp.TranslateDelivery(v, d) {
@@ -322,6 +327,7 @@ func (k *KVM) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 		panic("kvm: SwitchVM across physical CPUs")
 	}
 	from.CountExit("preempt")
+	from.Emit(obs.VMSwitch, "sched", int64(to.VM.VMID))
 	k.exitToHost(p, from)
 	from.Charge(p, "host scheduler: thread switch", k.c.HostSchedSwitch)
 	to.BR = from.BR // attribute the whole switch to one recorder
@@ -333,6 +339,7 @@ func (k *KVM) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 // physical IPI (I/O Latency In, first leg). from is ignored: KVM backends
 // are host threads, not VCPUs.
 func (k *KVM) NotifyGuest(p *sim.Proc, _ *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ) {
+	v.Emit(obs.IOKick, "irqfd", int64(virq))
 	v.Charge(p, "irqfd + vgic update", k.c.Irqfd)
 	v.Charge(p, "notify path (softirq/eventfd)", k.c.NotifyResidual)
 	v.PostSoft(virq)
@@ -344,6 +351,7 @@ func (k *KVM) NotifyGuest(p *sim.Proc, _ *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ) {
 // eventfd; the worker wakes on its own CPU.
 func (k *KVM) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 	v.CountExit("mmio-kick")
+	v.Emit(obs.IOKick, "ioeventfd", int64(b.CPU.P.ID()))
 	k.exitToHost(p, v)
 	v.Charge(p, "ioeventfd signal", k.c.Ioeventfd)
 	if k.c.KickNeedsIPI {
@@ -370,6 +378,7 @@ func (k *KVM) BackendDispatch(*sim.Proc, *hyp.Backend) {}
 // the Stage-2 translation, and re-enters the guest.
 func (k *KVM) Stage2Fault(p *sim.Proc, v *hyp.VCPU, ipa mem.IPA) {
 	v.CountExit("stage2-fault")
+	v.Emit(obs.Stage2Fault, "", int64(ipa))
 	v.Charge(p, "stage-2 fault (hw)", k.m.Cost.Stage2FaultHW)
 	k.exitToHost(p, v)
 	v.Charge(p, "host: allocate + map page", k.c.FaultWork)

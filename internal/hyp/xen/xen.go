@@ -8,6 +8,7 @@ import (
 	"armvirt/internal/hw"
 	"armvirt/internal/hyp"
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -157,12 +158,14 @@ func (x *Xen) lightReturn(p *sim.Proc, v *hyp.VCPU) {
 		v.Charge(p, "VM entry (VMCS hardware switch)", x.m.Cost.VMEntryHW)
 		v.CPU.P.EnterGuestKernel()
 		v.InGuest = true
+		v.Emit(obs.GuestEnter, "", 0)
 		return
 	}
 	v.Charge(p, "GP Regs: partial restore", x.c.GPRestoreFast)
 	v.Charge(p, "eret to guest", x.m.Cost.ERET)
 	v.CPU.P.EnterGuestKernel()
 	v.InGuest = true
+	v.Emit(obs.GuestEnter, "", 0)
 }
 
 // saveVMState moves a VCPU's full state out of the hardware (the expensive
@@ -215,6 +218,7 @@ func (x *Xen) EnterGuest(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.EnterGuestKernel()
 		v.InGuest = true
 		pc.P.RequireGuestRunnable(v.Ctx)
+		v.Emit(obs.GuestEnter, "", 0)
 		return
 	}
 	x.loadVMState(p, v)
@@ -222,6 +226,7 @@ func (x *Xen) EnterGuest(p *sim.Proc, v *hyp.VCPU) {
 	pc.P.EnterGuestKernel()
 	v.InGuest = true
 	pc.P.RequireGuestRunnable(v.Ctx)
+	v.Emit(obs.GuestEnter, "", 0)
 }
 
 // ExitGuest implements hyp.Hypervisor: final exit at teardown.
@@ -299,8 +304,10 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.Trap()
 		v.InGuest = false
 		v.Charge(p, "schedule idle domain", x.c.SchedToIdle)
+		v.Emit(obs.VMSwitch, "to-idle", 0)
 		d := pc.IRQ.Recv(p)
 		v.Charge(p, "Xen IRQ ack", x.c.PhysIRQAck)
+		v.Emit(obs.VMSwitch, "idle-wake", int64(d.IRQ))
 		v.Charge(p, "idle domain -> VCPU switch", x.c.IdleWakeSched)
 		for _, virq := range hyp.TranslateDelivery(v, d) {
 			v.Charge(p, "virq inject", x.c.VirqInject)
@@ -309,6 +316,7 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 		v.Charge(p, "VM entry (VMCS hardware switch)", cm.VMEntryHW)
 		pc.P.EnterGuestKernel()
 		v.InGuest = true
+		v.Emit(obs.GuestEnter, "", 0)
 		v.Charge(p, "guest IRQ entry", x.c.GuestIRQEntry)
 		return
 	}
@@ -317,8 +325,10 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	v.InGuest = false
 	x.saveVMState(p, v)
 	v.Charge(p, "schedule idle domain", x.c.SchedToIdle)
+	v.Emit(obs.VMSwitch, "to-idle", 0)
 	d := pc.IRQ.Recv(p)
 	v.Charge(p, "Xen GIC ack/EOI", x.c.PhysIRQAck)
+	v.Emit(obs.VMSwitch, "idle-wake", int64(d.IRQ))
 	v.Charge(p, "idle domain -> VCPU switch", x.c.IdleWakeSched)
 	for _, virq := range hyp.TranslateDelivery(v, d) {
 		v.Charge(p, "virq inject", x.c.VirqInject)
@@ -328,6 +338,7 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	v.Charge(p, "eret to guest", cm.ERET)
 	pc.P.EnterGuestKernel()
 	v.InGuest = true
+	v.Emit(obs.GuestEnter, "", 0)
 	v.Charge(p, "guest IRQ entry", x.c.GuestIRQEntry)
 }
 
@@ -361,6 +372,7 @@ func (x *Xen) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 		panic("xen: SwitchVM across physical CPUs")
 	}
 	from.CountExit("preempt")
+	from.Emit(obs.VMSwitch, "sched", int64(to.VM.VMID))
 	cm := x.m.Cost
 	to.BR = from.BR
 	if x.m.Arch == cpu.X86 {
@@ -385,6 +397,7 @@ func (x *Xen) NotifyGuest(p *sim.Proc, from *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ
 	if from == nil {
 		panic("xen: NotifyGuest requires the Dom0 VCPU it runs on")
 	}
+	from.Emit(obs.IOKick, "evtchn-notify", int64(virq))
 	from.Charge(p, "netback ring + grant bookkeeping", x.c.NotifyRingWork)
 	x.lightTrap(p, from)
 	from.Charge(p, "evtchn_send handler", x.c.EvtchnSend)
@@ -408,6 +421,7 @@ func (x *Xen) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 		panic("xen: backend has no Dom0 VCPU")
 	}
 	v.CountExit("evtchn-kick")
+	v.Emit(obs.IOKick, "evtchn-kick", int64(b.Dom0VCPU.CPU.P.ID()))
 	x.lightTrap(p, v)
 	v.Charge(p, "evtchn_send handler", x.c.EvtchnSend)
 	ch := x.ioChannel(v.VM)
@@ -426,6 +440,7 @@ func (x *Xen) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 // residency pays off.
 func (x *Xen) Stage2Fault(p *sim.Proc, v *hyp.VCPU, ipa mem.IPA) {
 	v.CountExit("stage2-fault")
+	v.Emit(obs.Stage2Fault, "", int64(ipa))
 	v.Charge(p, "stage-2 fault (hw)", x.m.Cost.Stage2FaultHW)
 	x.lightTrap(p, v)
 	v.Charge(p, "Xen: allocate + map page", x.c.FaultWork)

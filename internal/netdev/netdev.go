@@ -7,6 +7,7 @@ package netdev
 import (
 	"armvirt/internal/gic"
 	"armvirt/internal/hw"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 	"armvirt/internal/vio"
 )
@@ -105,6 +106,7 @@ func (n *NIC) Receive(pk *vio.Packet) {
 			n.armed = false
 		}
 		n.irqs++
+		n.m.Rec.Emit(n.m.Eng.Now(), obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
 		n.m.RaiseDeviceIRQ(n.IRQ, n.Target)
 	}
 }
@@ -119,6 +121,7 @@ func (n *NIC) Rearm() {
 			n.armed = false
 		}
 		n.irqs++
+		n.m.Rec.Emit(n.m.Eng.Now(), obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
 		n.m.RaiseDeviceIRQ(n.IRQ, n.Target)
 	}
 }

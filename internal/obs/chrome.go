@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"armvirt/internal/sim"
+)
+
+// Chrome trace-event export: the recorded stream rendered as the JSON
+// array format chrome://tracing and Perfetto load directly.
+//
+// Track layout:
+//
+//   - pid 1 ("pcpu"): one track per physical CPU plus a "machine" track.
+//     Instant events (virq injections, I/O kicks, physical IRQ
+//     deliveries, VM switches, scheduling decisions, Stage-2 faults) land
+//     on the CPU they occurred on.
+//   - pid 2 ("vcpu"): one track per VCPU, carrying the guest/hyp state
+//     bands: a "guest" duration for every GuestEnter..GuestExit span and
+//     a duration named by the exit reason for every GuestExit..GuestEnter
+//     span.
+//
+// The writer visits events in emission order and assigns VCPU track ids
+// in first-appearance order, so the output bytes are identical across
+// runs of the same deterministic simulation.
+
+// pidPCPU and pidVCPU are the synthetic process ids of the two track
+// groups.
+const (
+	pidPCPU = 1
+	pidVCPU = 2
+)
+
+// traceArgs is the args payload; a struct (not a map) so field order — and
+// therefore the serialized bytes — is fixed.
+type traceArgs struct {
+	Name   string `json:"name,omitempty"` // metadata payload
+	Detail string `json:"detail,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+}
+
+// chromeEvent is one trace record. Field order matches the acceptance
+// shape {"name","ph","ts","pid","tid",...}.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Dur  *float64   `json:"dur,omitempty"`
+	S    string     `json:"s,omitempty"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recorder's retained events as Chrome
+// trace-event JSON. freqMHz converts cycle timestamps to the microsecond
+// timebase the format expects.
+func WriteChromeTrace(w io.Writer, rec *Recorder, freqMHz int) error {
+	if freqMHz <= 0 {
+		return fmt.Errorf("obs: freqMHz must be positive, got %d", freqMHz)
+	}
+	us := func(t sim.Time) float64 { return float64(t) / float64(freqMHz) }
+
+	events := rec.Events()
+	var out []chromeEvent
+
+	// VCPU tracks, in first-appearance order.
+	vcpuTid := map[string]int{}
+	vcpuNames := []string{}
+	tidOf := func(e Event) int {
+		key := fmt.Sprintf("%s/vcpu%d", e.VM, e.VCPU)
+		tid, ok := vcpuTid[key]
+		if !ok {
+			tid = len(vcpuNames)
+			vcpuTid[key] = tid
+			vcpuNames = append(vcpuNames, key)
+		}
+		return tid
+	}
+
+	type spanState struct {
+		tid        int
+		enterT     sim.Time
+		exitT      sim.Time
+		exitReason string
+		inGuest    bool
+		haveExit   bool
+	}
+	spans := map[int]*spanState{}
+	span := func(e Event) *spanState {
+		tid := tidOf(e)
+		st, ok := spans[tid]
+		if !ok {
+			st = &spanState{tid: tid}
+			spans[tid] = st
+		}
+		return st
+	}
+	dur := func(a, b sim.Time) *float64 {
+		d := us(b) - us(a)
+		return &d
+	}
+
+	maxPCPU := rec.NCPU() // tid of the machine-level track in pid 1
+	for _, e := range events {
+		switch e.Kind {
+		case GuestEnter:
+			st := span(e)
+			if st.haveExit {
+				out = append(out, chromeEvent{
+					Name: st.exitReason, Ph: "X", Ts: us(st.exitT),
+					Pid: pidVCPU, Tid: st.tid, Dur: dur(st.exitT, e.T),
+					Args: &traceArgs{Detail: "hyp"},
+				})
+				st.haveExit = false
+			}
+			st.inGuest = true
+			st.enterT = e.T
+		case GuestExit:
+			st := span(e)
+			if st.inGuest {
+				out = append(out, chromeEvent{
+					Name: "guest", Ph: "X", Ts: us(st.enterT),
+					Pid: pidVCPU, Tid: st.tid, Dur: dur(st.enterT, e.T),
+				})
+				st.inGuest = false
+			}
+			st.exitT = e.T
+			st.exitReason = e.Detail
+			st.haveExit = true
+		default:
+			tid := e.PCPU
+			if tid < 0 || tid >= maxPCPU {
+				tid = maxPCPU
+			}
+			var args *traceArgs
+			if e.Detail != "" || e.Arg != 0 {
+				args = &traceArgs{Detail: e.Detail, Arg: e.Arg}
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: us(e.T),
+				Pid: pidPCPU, Tid: tid, S: "t", Args: args,
+			})
+		}
+	}
+	// Close any span still open at the end of the stream.
+	tids := make([]int, 0, len(spans))
+	for tid := range spans {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	var endT sim.Time
+	if len(events) > 0 {
+		endT = events[len(events)-1].T
+	}
+	for _, tid := range tids {
+		st := spans[tid]
+		if st.inGuest && endT > st.enterT {
+			out = append(out, chromeEvent{
+				Name: "guest", Ph: "X", Ts: us(st.enterT),
+				Pid: pidVCPU, Tid: tid, Dur: dur(st.enterT, endT),
+			})
+		}
+	}
+
+	// Metadata first: process and thread names for both track groups.
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: pidPCPU, Args: &traceArgs{Name: "pcpu"}},
+		{Name: "process_name", Ph: "M", Pid: pidVCPU, Args: &traceArgs{Name: "vcpu"}},
+	}
+	for i := 0; i < maxPCPU; i++ {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidPCPU, Tid: i,
+			Args: &traceArgs{Name: fmt.Sprintf("pcpu%d", i)},
+		})
+	}
+	meta = append(meta, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: pidPCPU, Tid: maxPCPU,
+		Args: &traceArgs{Name: "machine"},
+	})
+	for tid, name := range vcpuNames {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidVCPU, Tid: tid,
+			Args: &traceArgs{Name: name},
+		})
+	}
+
+	all := append(meta, out...)
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ev := range all {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(all)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

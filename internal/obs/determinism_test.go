@@ -1,0 +1,92 @@
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"armvirt/internal/hyp"
+	"armvirt/internal/obs"
+	"armvirt/internal/platform"
+	"armvirt/internal/workload"
+)
+
+// runTCPRR builds a fresh platform, attaches a recorder, runs the TCP_RR
+// workload, and returns the recorder plus the rendered Chrome trace.
+func runTCPRR(t *testing.T, factory func() hyp.Hypervisor) (*obs.Recorder, []byte) {
+	t.Helper()
+	h := factory()
+	m := h.Machine()
+	rec := obs.NewRecorder(m.NCPU(), 0)
+	m.SetRecorder(rec)
+	workload.TCPRRVirt(h, workload.DefaultParams())
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec, m.Cost.FreqMHz); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return rec, buf.Bytes()
+}
+
+// TestEventStreamDeterministic is the ISSUE acceptance test: running the
+// same workload twice on the same platform must yield identical event
+// sequences and byte-identical Chrome trace JSON.
+func TestEventStreamDeterministic(t *testing.T) {
+	cases := []struct {
+		name    string
+		factory func() hyp.Hypervisor
+	}{
+		{"KVMARM", func() hyp.Hypervisor { return platform.NewKVMARM().Hyp() }},
+		{"XenARM", func() hyp.Hypervisor { return platform.NewXenARM().Hyp() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec1, json1 := runTCPRR(t, tc.factory)
+			rec2, json2 := runTCPRR(t, tc.factory)
+
+			if rec1.Total() == 0 {
+				t.Fatal("no events recorded")
+			}
+			ev1, ev2 := rec1.Events(), rec2.Events()
+			if len(ev1) != len(ev2) {
+				t.Fatalf("event counts differ: %d vs %d", len(ev1), len(ev2))
+			}
+			for i := range ev1 {
+				if ev1[i] != ev2[i] {
+					t.Fatalf("event %d differs:\n  run1: %v\n  run2: %v", i, ev1[i], ev2[i])
+				}
+			}
+			if !reflect.DeepEqual(ev1, ev2) {
+				t.Fatal("event slices differ")
+			}
+			if !bytes.Equal(json1, json2) {
+				t.Fatal("Chrome trace JSON differs between runs")
+			}
+
+			// The stream must carry the kinds the tentpole promises.
+			sum := obs.Summarize(rec1)
+			if sum.Exits() == 0 || sum.VirqInjections() == 0 || sum.VMSwitches() == 0 {
+				t.Fatalf("missing expected event kinds: %s", sum.Headline())
+			}
+			if sum.Hypercalls() == 0 {
+				t.Fatalf("no hypercall-class exits recorded: %s", sum.Headline())
+			}
+			if sum.GuestCycles <= 0 || sum.HypCycles <= 0 {
+				t.Fatalf("no cycle attribution: guest=%d hyp=%d", sum.GuestCycles, sum.HypCycles)
+			}
+		})
+	}
+}
+
+// TestRecorderDetach checks SetRecorder(nil) restores the zero-cost path:
+// the run completes and nothing more is recorded.
+func TestRecorderDetach(t *testing.T) {
+	h := platform.NewKVMARM().Hyp()
+	m := h.Machine()
+	rec := obs.NewRecorder(m.NCPU(), 0)
+	m.SetRecorder(rec)
+	m.SetRecorder(nil)
+	workload.TCPRRVirt(h, workload.DefaultParams())
+	if rec.Total() != 0 {
+		t.Fatalf("detached recorder still received %d events", rec.Total())
+	}
+}

@@ -9,6 +9,7 @@ package sched
 import (
 	"fmt"
 
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -72,15 +73,20 @@ func (l Layout) BackendCPU(i int) int {
 // is the idealized balancer the capacity models assume and the serving
 // simulation uses.
 type Dispatcher struct {
+	eng     *sim.Engine
 	res     []*sim.Resource
 	backlog []sim.Time
 	busy    []sim.Time
+	// Rec, when non-nil, receives a SchedDecision event for every
+	// balanced placement.
+	Rec *obs.Recorder
 }
 
 // NewDispatcher builds a dispatcher over n resources on eng, named with
 // prefix.
 func NewDispatcher(eng *sim.Engine, prefix string, n int) *Dispatcher {
 	d := &Dispatcher{
+		eng:     eng,
 		res:     make([]*sim.Resource, n),
 		backlog: make([]sim.Time, n),
 		busy:    make([]sim.Time, n),
@@ -119,6 +125,7 @@ func (d *Dispatcher) ExecOn(p *sim.Proc, i int, cost sim.Time) {
 // index used.
 func (d *Dispatcher) ExecBalanced(p *sim.Proc, cost sim.Time) int {
 	i := d.LeastLoaded()
+	d.Rec.Emit(d.eng.Now(), obs.SchedDecision, i, "", -1, "least-loaded", int64(cost))
 	d.ExecOn(p, i, cost)
 	return i
 }

@@ -62,6 +62,7 @@ type Engine struct {
 	procs   map[*Proc]struct{}
 	stopped bool
 	tracer  func(t Time, what string)
+	procTap func(t Time, what, name string)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -79,9 +80,21 @@ func (e *Engine) Now() Time { return e.now }
 // (process start/exit). Pass nil to disable.
 func (e *Engine) SetTracer(fn func(t Time, what string)) { e.tracer = fn }
 
-func (e *Engine) trace(what string) {
+// SetProcTap installs a structured process-lifecycle tap: fn receives the
+// event verb ("start", "exit") and the process name separately, without
+// the string assembly SetTracer's flat form requires. Pass nil to disable.
+// Observability layers use this to publish fiber lifecycles as typed
+// events.
+func (e *Engine) SetProcTap(fn func(t Time, what, name string)) { e.procTap = fn }
+
+// noteProc reports a process-lifecycle event to both taps. The flat tracer
+// string stays "<what> <name>", which tests and tools depend on.
+func (e *Engine) noteProc(what string, p *Proc) {
 	if e.tracer != nil {
-		e.tracer(e.now, what)
+		e.tracer(e.now, what+" "+p.name)
+	}
+	if e.procTap != nil {
+		e.procTap(e.now, what, p.name)
 	}
 }
 
@@ -170,9 +183,9 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 	e.procs[p] = struct{}{}
 	go func() {
 		<-p.wake // wait for first dispatch
-		e.trace("start " + p.name)
+		e.noteProc("start", p)
 		body(p)
-		e.trace("exit " + p.name)
+		e.noteProc("exit", p)
 		p.dead = true
 		p.parked = true
 		e.yield <- struct{}{}
@@ -191,9 +204,9 @@ func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
 	e.procs[p] = struct{}{}
 	go func() {
 		<-p.wake
-		e.trace("start " + p.name)
+		e.noteProc("start", p)
 		body(p)
-		e.trace("exit " + p.name)
+		e.noteProc("exit", p)
 		p.dead = true
 		p.parked = true
 		e.yield <- struct{}{}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a log2-bucketed histogram of non-negative integer
+// observations — cycle costs, in practice. It trades exactness of
+// percentiles (bucket-interpolated) for O(1) memory at any event volume,
+// the same trade `perf kvm stat` and xentrace post-processing make. Exact
+// count, sum, min and max are kept alongside the buckets.
+//
+// A nil *Histogram is valid: it observes nothing and reports zeros.
+type Histogram struct {
+	// buckets[0] counts zeros; buckets[b] (b >= 1) counts observations
+	// in [2^(b-1), 2^b - 1].
+	buckets []int64
+	n       int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one observation (negatives are clamped to zero).
+func (h *Histogram) Observe(x int64) {
+	if h == nil {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	b := bucketOf(x)
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+	if h.n == 0 || x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	h.n++
+	h.sum += x
+}
+
+// bucketOf returns 0 for x == 0, else floor(log2(x)) + 1.
+func bucketOf(x int64) int {
+	b := 0
+	for x > 0 {
+		x >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketBounds returns the inclusive value range of bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return 1 << (b - 1), 1<<b - 1
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the exact sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// HMin returns the smallest observation (0 when empty).
+func (h *Histogram) HMin() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// HMax returns the largest observation (0 when empty).
+func (h *Histogram) HMax() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// HMean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) HMean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1), linearly
+// interpolated within the containing bucket and clamped to [min, max].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	rank := q * float64(h.n)
+	var cum int64
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			lo, hi := bucketBounds(b)
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi > h.max {
+				hi = h.max
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return float64(h.max)
+}
+
+// Buckets returns (lo, hi, count) for each non-empty bucket in ascending
+// order, for callers that want to render the distribution.
+func (h *Histogram) Buckets() [][3]int64 {
+	if h == nil {
+		return nil
+	}
+	var out [][3]int64
+	for b, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		out = append(out, [3]int64{lo, hi, c})
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (h *Histogram) String() string {
+	if h.N() == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.0f min=%d p50~%.0f p95~%.0f max=%d",
+		h.n, h.HMean(), h.min, h.Quantile(0.50), h.Quantile(0.95), h.max)
+}
+
+// Bars renders an ASCII bucket chart, one line per non-empty bucket, with
+// bars scaled to width characters.
+func (h *Histogram) Bars(width int) string {
+	bs := h.Buckets()
+	if len(bs) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var peak int64
+	for _, b := range bs {
+		if b[2] > peak {
+			peak = b[2]
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bs {
+		n := int(b[2] * int64(width) / peak)
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%12d - %-12d %8d %s\n", b[0], b[1], b[2], strings.Repeat("#", n))
+	}
+	return sb.String()
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"armvirt/internal/mem"
+	"armvirt/internal/obs"
+	"armvirt/internal/sim"
 )
 
 // NetIf is a paravirtual network interface: an RX ring of guest-posted
@@ -23,6 +25,10 @@ type NetIf struct {
 	Tx *Ring
 	// s2 is the guest's Stage-2 table, consulted on backend access.
 	s2 *mem.S2Table
+	// eng/rec, when set via Observe, publish IOKick events for every
+	// backend ring access.
+	eng *sim.Engine
+	rec *obs.Recorder
 }
 
 // NewNetIf creates an interface with the given ring sizes over the guest's
@@ -33,6 +39,23 @@ func NewNetIf(s2 *mem.S2Table, ringSize int) *NetIf {
 		Tx: NewRing("tx", ringSize),
 		s2: s2,
 	}
+}
+
+// Observe attaches an observability recorder: each backend access to the
+// rings (vhost zero-copy or netback grant-copy, both directions) publishes
+// an IOKick event. Pass a nil recorder to detach.
+func (n *NetIf) Observe(eng *sim.Engine, rec *obs.Recorder) {
+	n.eng = eng
+	n.rec = rec
+}
+
+// observe publishes one backend ring access; pcpu is unknown at this
+// layer, so events land in the machine-level ring.
+func (n *NetIf) observe(path string, arg int64) {
+	if n.rec == nil {
+		return
+	}
+	n.rec.Emit(n.eng.Now(), obs.IOKick, -1, "", -1, path, arg)
 }
 
 // PostRxBuffer posts an empty guest buffer (by IPA) for incoming data.
@@ -64,6 +87,7 @@ func (n *NetIf) VhostWriteRx(pk *Packet) (*Packet, error) {
 	buf.Stamp = pk.Stamp
 	buf.Bytes = pk.Bytes
 	n.Rx.Complete(buf)
+	n.observe("vhost-rx", pk.Seq)
 	return buf, nil
 }
 
@@ -76,6 +100,7 @@ func (n *NetIf) VhostReadTx() (*Packet, error) {
 	}
 	n.mustMapped(pk.GuestAddr, false)
 	n.Tx.Complete(pk)
+	n.observe("vhost-tx", pk.Seq)
 	return pk, nil
 }
 
@@ -105,6 +130,7 @@ func (n *NetIf) NetbackWriteRx(pk *Packet, grants *GrantTable, ref GrantRef) (*P
 	buf.Stamp = pk.Stamp
 	buf.Bytes = pk.Bytes
 	n.Rx.Complete(buf)
+	n.observe("netback-rx", pk.Seq)
 	return buf, int64(cost), nil
 }
 
@@ -120,5 +146,6 @@ func (n *NetIf) NetbackReadTx(grants *GrantTable, ref GrantRef) (*Packet, int64,
 		return nil, 0, fmt.Errorf("vio: netback tx without valid grant: %w", err)
 	}
 	n.Tx.Complete(pk)
+	n.observe("netback-tx", pk.Seq)
 	return pk, int64(cost), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"armvirt/internal/cpu"
 	"armvirt/internal/hyp"
+	"armvirt/internal/obs"
 	"armvirt/internal/sched"
 	"armvirt/internal/sim"
 )
@@ -54,6 +55,7 @@ func Oversubscribe(h hyp.Hypervisor, n int, quantumUs float64, quanta int) Overs
 			vcpus[cur].Charge(p, "guest compute", cpu.Cycles(quantum))
 			useful += quantum
 			next := (cur + 1) % n
+			m.Rec.Emit(m.Eng.Now(), obs.SchedDecision, 0, vcpus[next].VM.Name, 0, "round-robin", int64(next))
 			h.SwitchVM(p, vcpus[cur], vcpus[next])
 			res.Switches++
 			cur = next
@@ -99,6 +101,7 @@ func WeightedShares(h hyp.Hypervisor, weights []int, quantumUs float64, quanta i
 			}
 			pick := cs.PickNext()
 			next := byName[pick.Name]
+			m.Rec.Emit(m.Eng.Now(), obs.SchedDecision, 0, pick.Name, 0, "credit-pick", int64(pick.Weight))
 			if next != cur {
 				h.SwitchVM(p, cur, next)
 				cur = next
