@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench ci
+.PHONY: all build test race vet fmt-check bench report-diff bench-smoke ci
 
 all: build test
 
@@ -25,4 +25,13 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: fmt-check vet build race
+report-diff:
+	$(GO) build -o /tmp/armvirt-report ./cmd/armvirt-report
+	/tmp/armvirt-report -j 1 > /tmp/report-serial.txt
+	/tmp/armvirt-report -j 4 > /tmp/report-parallel.txt
+	diff -u /tmp/report-serial.txt /tmp/report-parallel.txt
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim
+
+ci: fmt-check vet build race report-diff bench-smoke

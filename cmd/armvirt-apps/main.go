@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	armvirt-apps [-tcprr] [-distributed] [-virqdist]
+//	armvirt-apps [-tcprr] [-distributed] [-virqdist] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"armvirt/internal/bench"
 )
@@ -19,17 +21,36 @@ func main() {
 	tcprrOnly := flag.Bool("tcprr", false, "print only the Table V TCP_RR analysis")
 	distributed := flag.Bool("distributed", false, "run the request-serving workloads with virtual interrupts distributed across VCPUs")
 	virqdist := flag.Bool("virqdist", false, "also print the virq-distribution experiment")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON (structured result rows) instead of the tables")
 	flag.Parse()
 
+	var results []bench.Result
 	if *tcprrOnly {
-		fmt.Print(bench.RunTableV().Render())
+		results = []bench.Result{bench.RunTableV()}
+	} else {
+		results = []bench.Result{bench.RunFigure4(*distributed), bench.RunTableV()}
+		if *virqdist {
+			results = append(results, bench.RunVirqDistribution())
+		}
+	}
+
+	if *asJSON {
+		out := make([][]bench.Row, len(results))
+		for i, r := range results {
+			out[i] = r.Rows()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
-	fmt.Print(bench.RunFigure4(*distributed).Render())
-	fmt.Println()
-	fmt.Print(bench.RunTableV().Render())
-	if *virqdist {
-		fmt.Println()
-		fmt.Print(bench.RunVirqDistribution().Render())
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.Render())
 	}
 }

@@ -20,7 +20,7 @@ func main() {
 	platformFlag := flag.String("platform", "", `limit to one platform ("KVM ARM", "Xen ARM", "KVM x86", "Xen x86")`)
 	breakdown := flag.Bool("breakdown", false, "also print the Table III hypercall breakdown")
 	vhe := flag.Bool("vhe", false, "include the ARMv8.1 VHE configuration as an extra column")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON (structured result rows) instead of the table")
 	flag.Parse()
 
 	labels := bench.Platforms
@@ -35,16 +35,18 @@ func main() {
 		labels = append(append([]string{}, labels...), "KVM ARM (VHE)")
 	}
 
-	tableII := bench.RunTableII(labels...)
+	results := []bench.Result{bench.RunTableII(labels...)}
+	if *breakdown {
+		results = append(results, bench.RunTableIII())
+	}
+
 	if *asJSON {
-		out := map[string]interface{}{"tableII": tableII.Cells}
+		out := struct {
+			TableII  []bench.Row `json:"tableII"`
+			TableIII []bench.Row `json:"tableIII,omitempty"`
+		}{TableII: results[0].Rows()}
 		if *breakdown {
-			t3 := bench.RunTableIII()
-			out["tableIII"] = map[string]interface{}{
-				"saveRestore": t3.SaveRestore,
-				"other":       t3.Other,
-				"total":       t3.Total,
-			}
+			out.TableIII = results[1].Rows()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -54,9 +56,10 @@ func main() {
 		}
 		return
 	}
-	fmt.Print(tableII.Render())
-	if *breakdown {
-		fmt.Println()
-		fmt.Print(bench.RunTableIII().Render())
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r.Render())
 	}
 }

@@ -52,13 +52,13 @@ func RunDisk() DiskResult {
 	return out
 }
 
-// Render formats the extension experiment.
-func (r DiskResult) Render() string {
-	var b strings.Builder
-	b.WriteString("Extension: block I/O path (4KB random reads, QD1, simulated SATA3 SSD)\n")
-	b.WriteString("(not a paper artifact: extends the paper's I/O-model analysis to the storage\n")
-	b.WriteString(" configuration §III fixes; Xen blkback uses persistent grants)\n")
-	for _, row := range []struct {
+// configs pairs the display labels with the measured configurations in
+// report order.
+func (r DiskResult) configs() []struct {
+	label string
+	res   blockdev.BenchResult
+} {
+	return []struct {
 		label string
 		res   blockdev.BenchResult
 	}{
@@ -67,7 +67,28 @@ func (r DiskResult) Render() string {
 		{"Xen ARM (persistent grants)", r.Xen},
 		{"Xen ARM (map/unmap+TLBI)", r.XenMapUnmap},
 		{"KVM ARM (VHE)", r.VHE},
-	} {
+	}
+}
+
+// Rows enumerates IOPS and latency per configuration.
+func (r DiskResult) Rows() []Row {
+	var rows []Row
+	for _, c := range r.configs() {
+		rows = append(rows,
+			row("iops", c.res.IOPS, "iops", "config", c.label),
+			row("mean_latency", c.res.MeanLatencyUs, "us", "config", c.label),
+			row("p99_latency", c.res.P99LatencyUs, "us", "config", c.label))
+	}
+	return rows
+}
+
+// Render formats the extension experiment.
+func (r DiskResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: block I/O path (4KB random reads, QD1, simulated SATA3 SSD)\n")
+	b.WriteString("(not a paper artifact: extends the paper's I/O-model analysis to the storage\n")
+	b.WriteString(" configuration §III fixes; Xen blkback uses persistent grants)\n")
+	for _, row := range r.configs() {
 		fmt.Fprintf(&b, "%-30s %8.0f IOPS  mean %6.1f us  p99 %6.1f us\n",
 			row.label, row.res.IOPS, row.res.MeanLatencyUs, row.res.P99LatencyUs)
 	}

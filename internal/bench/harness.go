@@ -105,6 +105,28 @@ func (t TableIIResult) Render() string {
 	return b.String()
 }
 
+// Rows enumerates the cells platform-major in paper column order, one
+// "cycles" row per measurement plus a "paper_cycles" row where the paper
+// states a value.
+func (t TableIIResult) Rows() []Row {
+	var labels []string
+	for l := range t.Cells {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return platformOrder(labels[i]) < platformOrder(labels[j]) })
+	var rows []Row
+	for _, l := range labels {
+		for _, name := range Micros {
+			c := t.Cells[l][name]
+			rows = append(rows, row("cycles", c.Measured, "cycles", "platform", l, "benchmark", name))
+			if c.Paper > 0 {
+				rows = append(rows, row("paper_cycles", c.Paper, "cycles", "platform", l, "benchmark", name))
+			}
+		}
+	}
+	return rows
+}
+
 func platformOrder(label string) int {
 	for i, l := range append(append([]string{}, Platforms...), "KVM ARM (VHE)") {
 		if l == label {
@@ -151,6 +173,22 @@ func (t TableIIIResult) Render() string {
 	fmt.Fprintf(&b, "%-26s %8.0f (traps, toggles, handler)\n", "Other", t.Other)
 	fmt.Fprintf(&b, "%-26s %8.0f /%8.0f\n", "Hypercall total", t.Total, PaperTableII["KVM ARM"]["Hypercall"])
 	return b.String()
+}
+
+// Rows enumerates save/restore per register class, then the residual and
+// the total.
+func (t TableIIIResult) Rows() []Row {
+	var rows []Row
+	for _, cls := range TableIIIOrder {
+		m := t.SaveRestore[cls]
+		rows = append(rows,
+			row("save", m[0], "cycles", "class", cls),
+			row("restore", m[1], "cycles", "class", cls))
+	}
+	rows = append(rows,
+		row("other", t.Other, "cycles"),
+		row("total", t.Total, "cycles"))
+	return rows
 }
 
 // TableVResult is the regenerated Netperf TCP_RR analysis.
@@ -210,6 +248,22 @@ func (t TableVResult) Render() string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// Rows enumerates every Table V metric for the three columns.
+func (t TableVResult) Rows() []Row {
+	var rows []Row
+	cols := []string{"Native", "KVM", "Xen"}
+	for _, name := range TableVOrder {
+		m := t.row(name)
+		for i, c := range cols {
+			if PaperTableV[name][i] < 0 {
+				continue // the paper does not decompose this column
+			}
+			rows = append(rows, row(name, m[i], "", "config", c))
+		}
+	}
+	return rows
 }
 
 // Figure4Result is the regenerated application benchmark figure.
@@ -335,6 +389,23 @@ func (r Figure4Result) Render() string {
 	return b.String()
 }
 
+// Rows enumerates normalized overheads workload-major in paper order,
+// skipping configurations the paper could not run.
+func (r Figure4Result) Rows() []Row {
+	var rows []Row
+	for _, w := range Workloads {
+		for _, l := range Platforms {
+			c := r.Cells[w][l]
+			if c.NA {
+				continue
+			}
+			rows = append(rows, row("overhead", c.Measured, "x native", "workload", w, "platform", l))
+			rows = append(rows, row("paper_overhead", c.Paper, "x native", "workload", w, "platform", l))
+		}
+	}
+	return rows
+}
+
 // VirqDistributionResult is the §V in-text experiment.
 type VirqDistributionResult struct {
 	// Cells[workload][platform] = {concentrated, distributed} overhead.
@@ -374,6 +445,20 @@ func (r VirqDistributionResult) Render() string {
 	return b.String()
 }
 
+// Rows enumerates the concentrated and distributed overheads.
+func (r VirqDistributionResult) Rows() []Row {
+	var rows []Row
+	for _, w := range []string{"Apache", "Memcached"} {
+		for _, l := range []string{"KVM ARM", "Xen ARM"} {
+			m := r.Cells[w][l]
+			rows = append(rows,
+				row("overhead", m[0], "x native", "workload", w, "platform", l, "virq", "concentrated"),
+				row("overhead", m[1], "x native", "workload", w, "platform", l, "virq", "distributed"))
+		}
+	}
+	return rows
+}
+
 // VHEResult is the §VI projection.
 type VHEResult struct {
 	// Micro[name] = {split-mode, VHE, Xen} cycles.
@@ -405,6 +490,24 @@ func RunVHE() VHEResult {
 		workload.TCPRRVirt(f["KVM ARM (VHE)"](), prm).TimePerTransUs,
 	}
 	return out
+}
+
+// Rows enumerates the microbenchmark columns and the workload projections.
+func (r VHEResult) Rows() []Row {
+	var rows []Row
+	cfgs := []string{"split-mode", "VHE", "Xen ARM"}
+	for _, name := range Micros {
+		m := r.Micro[name]
+		for i, cfg := range cfgs {
+			rows = append(rows, row("cycles", m[i], "cycles", "benchmark", name, "config", cfg))
+		}
+	}
+	rows = append(rows,
+		row("apache_overhead", r.ApacheOverhead[0], "x native", "config", "split-mode"),
+		row("apache_overhead", r.ApacheOverhead[1], "x native", "config", "VHE"),
+		row("tcprr_time_per_trans", r.TCPRRTimeUs[0], "us", "config", "split-mode"),
+		row("tcprr_time_per_trans", r.TCPRRTimeUs[1], "us", "config", "VHE"))
+	return rows
 }
 
 // Render formats the VHE projection.

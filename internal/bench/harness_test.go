@@ -182,7 +182,7 @@ func TestDiskExtensionOrdering(t *testing.T) {
 }
 
 func TestValidationsAgree(t *testing.T) {
-	for _, row := range RunValidations().Rows {
+	for _, row := range RunValidations().Checks {
 		if d := math.Abs(row.DeltaPct()); d > 10 {
 			t.Errorf("%s: analytic %.2f vs DES %.2f (%.1f%% apart)",
 				row.Name, row.Analytic, row.DES, d)

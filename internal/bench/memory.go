@@ -12,20 +12,33 @@ import (
 // costs at start up") made measurable, plus the steady-state claim that
 // memory virtualization runs without hypervisor involvement.
 type MemoryResult struct {
-	// Rows[platform] = {cold fault, warm touch, steady touch} cycles.
-	Rows map[string][3]float64
+	// Cells[platform] = {cold fault, warm touch, steady touch} cycles.
+	Cells map[string][3]float64
 }
 
 // RunMemory runs the fault-storm experiment on the ARM configurations.
 func RunMemory() MemoryResult {
 	f := Factories()
-	out := MemoryResult{Rows: map[string][3]float64{}}
+	out := MemoryResult{Cells: map[string][3]float64{}}
 	for _, label := range []string{"KVM ARM", "Xen ARM", "KVM ARM (VHE)"} {
 		r := workload.FaultStorm(f[label](), 256)
-		out.Rows[label] = [3]float64{
+		out.Cells[label] = [3]float64{
 			float64(r.ColdPerFault), float64(r.WarmPerTouch), float64(r.SteadyPerTouch)}
 	}
 	return out
+}
+
+// Rows enumerates the per-phase access costs per platform.
+func (r MemoryResult) Rows() []Row {
+	var rows []Row
+	for _, label := range []string{"KVM ARM", "Xen ARM", "KVM ARM (VHE)"} {
+		v := r.Cells[label]
+		rows = append(rows,
+			row("cold_fault", v[0], "cycles", "platform", label),
+			row("warm_touch", v[1], "cycles", "platform", label),
+			row("steady_touch", v[2], "cycles", "platform", label))
+	}
+	return rows
 }
 
 // Render formats the experiment.
@@ -36,7 +49,7 @@ func (r MemoryResult) Render() string {
 	b.WriteString(" memory virtualization proceeds without hypervisor involvement)\n")
 	fmt.Fprintf(&b, "%-16s %12s %12s %12s\n", "", "cold fault", "warm touch", "steady")
 	for _, label := range []string{"KVM ARM", "Xen ARM", "KVM ARM (VHE)"} {
-		row := r.Rows[label]
+		row := r.Cells[label]
 		fmt.Fprintf(&b, "%-16s %12.0f %12.0f %12.0f\n", label, row[0], row[1], row[2])
 	}
 	return b.String()

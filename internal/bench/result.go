@@ -1,0 +1,45 @@
+package bench
+
+// Row is one machine-readable data point of an experiment result: a metric
+// name, the labels that locate it (platform, workload, ...), a value, and
+// its unit. Rows are emitted in a deterministic order so JSON output is
+// diffable across runs.
+type Row struct {
+	Metric string            `json:"metric"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Unit   string            `json:"unit,omitempty"`
+}
+
+// Result is the structured output of an experiment: renderable for humans
+// (the paper-vs-measured report) and enumerable for machines (JSON, CSV,
+// dashboards). Every Run* function in this package returns a Result.
+type Result interface {
+	// Render formats the result in the paper's layout.
+	Render() string
+	// Rows enumerates the result's data points in a stable order.
+	Rows() []Row
+}
+
+// Text adapts a static rendering (such as the Table I and Table IV
+// definitions) to the Result interface; it carries no data rows.
+type Text string
+
+// Render returns the text unchanged.
+func (t Text) Render() string { return string(t) }
+
+// Rows returns nil: a Text result has no machine-readable data points.
+func (t Text) Rows() []Row { return nil }
+
+// row is a convenience constructor that builds the Labels map from
+// alternating key/value pairs.
+func row(metric string, value float64, unit string, kv ...string) Row {
+	r := Row{Metric: metric, Value: value, Unit: unit}
+	if len(kv) > 0 {
+		r.Labels = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			r.Labels[kv[i]] = kv[i+1]
+		}
+	}
+	return r
+}

@@ -107,6 +107,20 @@ func RunSensitivity(samples int, spread float64, seed int64) SensitivityResult {
 	return res
 }
 
+// Rows enumerates, per conclusion, the fraction of samples in which it
+// held.
+func (r SensitivityResult) Rows() []Row {
+	var rows []Row
+	for _, c := range Conclusions {
+		frac := 0.0
+		if r.Samples > 0 {
+			frac = float64(r.Held[c]) / float64(r.Samples)
+		}
+		rows = append(rows, row("held_fraction", frac, "", "conclusion", c))
+	}
+	return rows
+}
+
 // Render formats the robustness report.
 func (r SensitivityResult) Render() string {
 	var b strings.Builder

@@ -27,7 +27,7 @@ func (r ValidationRow) DeltaPct() float64 {
 // ValidationResult cross-checks the closed-form workload models that
 // produce Figure 4 against discrete-event simulations of the same systems.
 type ValidationResult struct {
-	Rows []ValidationRow
+	Checks []ValidationRow
 }
 
 // RunValidations executes the four validations.
@@ -78,7 +78,18 @@ func RunValidations() ValidationResult {
 		DES:      workload.HackSimOverhead(f["KVM ARM"](), 50, hb.WorkUsPerIPI, hb.NativeIPIUs),
 		Unit:     "x native",
 	})
-	return ValidationResult{Rows: rows}
+	return ValidationResult{Checks: rows}
+}
+
+// Rows enumerates the analytic and simulated value of each check.
+func (r ValidationResult) Rows() []Row {
+	var rows []Row
+	for _, c := range r.Checks {
+		rows = append(rows,
+			row("analytic", c.Analytic, c.Unit, "check", c.Name),
+			row("simulated", c.DES, c.Unit, "check", c.Name))
+	}
+	return rows
 }
 
 // Render formats the validation table.
@@ -86,7 +97,7 @@ func (r ValidationResult) Render() string {
 	var b strings.Builder
 	b.WriteString("Model validation: Figure 4's closed forms vs discrete-event simulation\n")
 	fmt.Fprintf(&b, "%-42s %10s %10s %8s %10s\n", "", "analytic", "simulated", "delta", "unit")
-	for _, row := range r.Rows {
+	for _, row := range r.Checks {
 		fmt.Fprintf(&b, "%-42s %10.2f %10.2f %+7.1f%% %10s\n",
 			row.Name, row.Analytic, row.DES, row.DeltaPct(), row.Unit)
 	}

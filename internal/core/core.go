@@ -11,7 +11,14 @@
 // paper-vs-measured.
 package core
 
-import "armvirt/internal/bench"
+import (
+	"sync"
+
+	"armvirt/internal/bench"
+)
+
+// Result is the structured output of an experiment; see bench.Result.
+type Result = bench.Result
 
 // Kind classifies an experiment.
 type Kind int
@@ -54,8 +61,10 @@ type Experiment struct {
 	Title string
 	// Kind classifies the entry.
 	Kind Kind
-	// Run executes the experiment and renders its report.
-	Run func() string
+	// Run executes the experiment and returns its structured result.
+	// Every invocation builds private platforms and engines, so
+	// experiments may run concurrently; see RunAll.
+	Run func() Result
 }
 
 // Experiments returns the full study in paper order. Every call builds
@@ -63,40 +72,52 @@ type Experiment struct {
 func Experiments() []Experiment {
 	return []Experiment{
 		{"T1", "Table I — Microbenchmark Definitions", PaperArtifact,
-			bench.RenderTableI},
+			func() Result { return bench.Text(bench.RenderTableI()) }},
 		{"T2", "Table II — Microbenchmark Measurements", PaperArtifact,
-			func() string { return bench.RunTableII().Render() }},
+			func() Result { return bench.RunTableII() }},
 		{"T3", "Table III — KVM ARM Hypercall Analysis", PaperArtifact,
-			func() string { return bench.RunTableIII().Render() }},
+			func() Result { return bench.RunTableIII() }},
 		{"T4", "Table IV — Application Benchmark Definitions", PaperArtifact,
-			bench.RenderTableIV},
+			func() Result { return bench.Text(bench.RenderTableIV()) }},
 		{"T5", "Table V — Netperf TCP_RR Analysis on ARM", PaperArtifact,
-			func() string { return bench.RunTableV().Render() }},
+			func() Result { return bench.RunTableV() }},
 		{"F4", "Figure 4 — Application Benchmark Performance", PaperArtifact,
-			func() string { return bench.RunFigure4(false).Render() }},
+			func() Result { return bench.RunFigure4(false) }},
 		{"X1", "In-text — Virtual Interrupt Distribution", InText,
-			func() string { return bench.RunVirqDistribution().Render() }},
+			func() Result { return bench.RunVirqDistribution() }},
 		{"F5", "Section VI — ARMv8.1 VHE Projection", Projection,
-			func() string { return bench.RunVHE().Render() }},
+			func() Result { return bench.RunVHE() }},
 		{"E1", "Extension — Block I/O Path", Extension,
-			func() string { return bench.RunDisk().Render() }},
+			func() Result { return bench.RunDisk() }},
 		{"E2", "Extension — Stage-2 Fault Warm-up", Extension,
-			func() string { return bench.RunMemory().Render() }},
+			func() Result { return bench.RunMemory() }},
 		{"V1", "Model Validation — Closed Forms vs Simulation", Validation,
-			func() string { return bench.RunValidations().Render() }},
+			func() Result { return bench.RunValidations() }},
 		{"R1", "Robustness — Calibration Sensitivity", Validation,
-			func() string { return bench.RunSensitivity(40, 0.20, 1).Render() }},
+			func() Result { return bench.RunSensitivity(40, 0.20, 1) }},
 	}
 }
 
-// ByID returns the experiment with the given ID, or nil.
+var (
+	indexOnce sync.Once
+	indexByID map[string]int
+)
+
+// ByID returns the experiment with the given ID, or nil. Lookup is
+// map-backed; the index is built once from the registry.
 func ByID(id string) *Experiment {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return &e
+	indexOnce.Do(func() {
+		indexByID = make(map[string]int)
+		for i, e := range Experiments() {
+			indexByID[e.ID] = i
 		}
+	})
+	i, ok := indexByID[id]
+	if !ok {
+		return nil
 	}
-	return nil
+	e := Experiments()[i]
+	return &e
 }
 
 // PaperIDs lists the IDs that correspond to the paper's own artifacts.

@@ -42,8 +42,8 @@ func TestKindStrings(t *testing.T) {
 
 func TestEveryExperimentRuns(t *testing.T) {
 	for _, e := range Experiments() {
-		body := e.Run()
-		if len(body) < 50 {
+		res := e.Run()
+		if body := res.Render(); len(body) < 50 {
 			t.Errorf("%s produced a suspiciously short report (%d bytes)", e.ID, len(body))
 		}
 	}
@@ -56,5 +56,32 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("duplicate experiment ID %s", e.ID)
 		}
 		seen[e.ID] = true
+	}
+}
+
+func TestByIDFindsEveryRegisteredExperiment(t *testing.T) {
+	for _, e := range Experiments() {
+		got := ByID(e.ID)
+		if got == nil || got.Title != e.Title {
+			t.Errorf("ByID(%s) = %v, want %q", e.ID, got, e.Title)
+		}
+	}
+}
+
+func TestDataRowsPresentForMeasuredExperiments(t *testing.T) {
+	// T1 and T4 are static definitions; every other experiment must expose
+	// machine-readable rows.
+	static := map[string]bool{"T1": true, "T4": true}
+	for _, e := range Experiments() {
+		rows := e.Run().Rows()
+		if static[e.ID] {
+			if len(rows) != 0 {
+				t.Errorf("%s: static experiment should have no rows, got %d", e.ID, len(rows))
+			}
+			continue
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s exposes no data rows", e.ID)
+		}
 	}
 }

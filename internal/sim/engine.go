@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -24,51 +23,99 @@ import (
 // methodology synchronizes counters across CPUs for exactly this reason).
 type Time int64
 
-// event is a scheduled engine action: either a plain callback or the
-// resumption of a parked process.
+// event is a scheduled engine action: either a plain callback (fn non-nil)
+// or the one-shot resumption of a parked process (w non-nil, gen holding
+// the waiter generation the wakeup was armed for). Events are stored by
+// value in the heap, so steady-state scheduling performs no allocation.
 type event struct {
 	at  Time
 	seq uint64
+	gen uint64
+	w   *waiter
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a concrete binary min-heap of events ordered by (at, seq).
+// Events live by value in the backing array, which is the pool: slots are
+// reused across push/pop cycles, so the hot path neither boxes through
+// interface{} (as container/heap would) nor allocates per event.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // clear the vacated slot so its closure can be collected
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // Engine owns the virtual clock and the event queue. The zero value is not
 // usable; construct with NewEngine.
+//
+// The engine loop migrates between goroutines: whichever goroutine parks
+// last continues dispatching events inline (continuation passing). A
+// process that wakes itself therefore costs no goroutine switch at all,
+// and waking another process costs one handoff instead of the two a
+// dedicated engine goroutine would need. Logical execution order is
+// unaffected: exactly one goroutine runs the loop at any instant.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	yield   chan struct{} // a running proc signals here when it parks or exits
-	procs   map[*Proc]struct{}
-	stopped bool
-	tracer  func(t Time, what string)
-	procTap func(t Time, what, name string)
+	now         Time
+	seq         uint64
+	queue       eventHeap
+	running     *Proc         // proc whose goroutine owns the loop (nil = Run's caller)
+	done        chan struct{} // signals Run's caller when a proc's loop goes idle
+	deadline    Time
+	hasDeadline bool
+	procs       map[*Proc]struct{}
+	stopped     bool
+	tracer      func(t Time, what string)
+	procTap     func(t Time, what, name string)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
+		done:  make(chan struct{}, 1),
 		procs: make(map[*Proc]struct{}),
 	}
 }
@@ -105,40 +152,95 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// wakeAt schedules the one-shot resumption of w's process at absolute time
+// t (clamped to now). The registration is stored by value in the event
+// heap and captures w's current generation, so the Sleep/Yield path
+// allocates nothing and stale wakeups are no-ops.
+func (e *Engine) wakeAt(t Time, w *waiter) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.queue.push(event{at: t, seq: e.seq, w: w, gen: w.gen})
+}
+
 // Stop makes Run return after the current event completes. Pending events
 // are retained; Run may be called again to continue.
 func (e *Engine) Stop() { e.stopped = true }
+
+// loop outcomes.
+const (
+	loopIdle    = iota // queue empty, Stop called, or deadline reached
+	loopHandoff        // control transferred to another process goroutine
+	loopSelf           // the calling process was itself resumed
+)
+
+// loop dispatches pending events in the calling goroutine until the engine
+// goes idle or control is handed to a process goroutine. Resuming the
+// process whose goroutine is already running the loop returns loopSelf
+// without any channel traffic.
+func (e *Engine) loop() int {
+	for {
+		if len(e.queue) == 0 || e.stopped {
+			return loopIdle
+		}
+		if e.hasDeadline && e.queue[0].at > e.deadline {
+			return loopIdle
+		}
+		ev := e.queue.pop()
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.at))
+		}
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		w := ev.w
+		if w.gen != ev.gen {
+			continue // stale wakeup: another path already woke the process
+		}
+		w.gen++
+		p := w.p
+		p.parked = false
+		if p == e.running {
+			return loopSelf
+		}
+		e.running = p
+		p.wake <- struct{}{}
+		return loopHandoff
+	}
+}
 
 // Run processes events until the queue is empty or Stop is called. Parked
 // processes whose wakeups are never scheduled are simply abandoned (their
 // goroutines are unblocked and discarded at no cost to determinism).
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.at))
-		}
-		e.now = ev.at
-		ev.fn()
+	e.hasDeadline = false
+	e.running = nil
+	if e.loop() == loopHandoff {
+		<-e.done
 	}
 }
 
 // RunUntil processes events with timestamps <= deadline, then sets the clock
-// to deadline if it has not already passed it.
+// to deadline if it has not already passed it. Like Run, it panics if a
+// dispatched event would move time backwards.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
+	e.hasDeadline, e.deadline = true, deadline
+	e.running = nil
+	if e.loop() == loopHandoff {
+		<-e.done
 	}
+	e.hasDeadline = false
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -160,26 +262,15 @@ func (e *Engine) ParkedProcs() []string {
 	return names
 }
 
-// resumeAndWait unparks p and blocks until p parks again or exits. It must
-// only be called from the engine loop (inside an event callback).
-func (e *Engine) resumeAndWait(p *Proc) {
-	p.parked = false
-	p.wake <- struct{}{}
-	<-e.yield
-	if p.dead {
-		delete(e.procs, p)
-	}
-}
-
-// Go spawns a new process that begins executing body at the current time.
-// The body runs on its own goroutine but is scheduled cooperatively: it only
-// executes while the engine has handed it control.
-func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+// spawn creates the process record and its goroutine, initially parked
+// waiting for the first dispatch at time t.
+func (e *Engine) spawn(t Time, name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:  e,
 		name: name,
-		wake: make(chan struct{}),
+		wake: make(chan struct{}, 1),
 	}
+	p.w.p = p
 	e.procs[p] = struct{}{}
 	go func() {
 		<-p.wake // wait for first dispatch
@@ -188,31 +279,27 @@ func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
 		e.noteProc("exit", p)
 		p.dead = true
 		p.parked = true
-		e.yield <- struct{}{}
+		delete(e.procs, p)
+		// The exiting goroutine owns the engine loop; keep dispatching
+		// here until idle or the loop migrates to another process.
+		if e.loop() == loopIdle {
+			e.done <- struct{}{}
+		}
 	}()
-	e.At(e.now, func() { e.resumeAndWait(p) })
+	e.wakeAt(t, &p.w)
 	return p
+}
+
+// Go spawns a new process that begins executing body at the current time.
+// The body runs on its own goroutine but is scheduled cooperatively: it only
+// executes while the engine has handed it control.
+func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
+	return e.spawn(e.now, name, body)
 }
 
 // GoAt is Go with a deferred start time.
 func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:  e,
-		name: name,
-		wake: make(chan struct{}),
-	}
-	e.procs[p] = struct{}{}
-	go func() {
-		<-p.wake
-		e.noteProc("start", p)
-		body(p)
-		e.noteProc("exit", p)
-		p.dead = true
-		p.parked = true
-		e.yield <- struct{}{}
-	}()
-	e.At(t, func() { e.resumeAndWait(p) })
-	return p
+	return e.spawn(t, name, body)
 }
 
 // Proc is a simulated process. All methods must be called from the process's
@@ -222,6 +309,7 @@ type Proc struct {
 	eng    *Engine
 	name   string
 	wake   chan struct{}
+	w      waiter // reusable wakeup token; armed per park, never reallocated
 	parked bool
 	dead   bool
 }
@@ -235,10 +323,19 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// park gives control back to the engine until some event unparks p.
+// park gives control back to the engine until some event unparks p. The
+// parking goroutine continues running the engine loop itself: if the next
+// wakeup is its own it simply returns, otherwise it hands the loop to the
+// woken process (or signals Run's caller when the engine goes idle) and
+// blocks until resumed.
 func (p *Proc) park() {
 	p.parked = true
-	p.eng.yield <- struct{}{}
+	switch p.eng.loop() {
+	case loopSelf:
+		return
+	case loopIdle:
+		p.eng.done <- struct{}{}
+	}
 	<-p.wake
 }
 
@@ -249,8 +346,7 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	w := &waiter{p: p}
-	p.eng.After(d, w.fire)
+	p.eng.wakeAt(p.eng.now+d, &p.w)
 	p.park()
 }
 
@@ -265,23 +361,39 @@ func (p *Proc) SleepUntil(t Time) {
 // Yield reschedules the process at the current time, letting any other
 // events queued for this instant run first.
 func (p *Proc) Yield() {
-	w := &waiter{p: p}
-	p.eng.After(0, w.fire)
+	p.eng.wakeAt(p.eng.now, &p.w)
 	p.park()
 }
 
-// waiter is a one-shot wakeup token. Exactly one of the paths racing to wake
-// a parked process succeeds; the rest become no-ops. Because all paths run
-// inside the single-threaded engine loop there is no data race.
+// waiter is a one-shot wakeup token. Each Proc embeds a single waiter that
+// is reused across parks: every registration (an event-heap entry or a
+// queue/cond/resource wait list entry) captures the generation it was
+// armed for, and consuming a wakeup bumps the generation. Exactly one of
+// the paths racing to wake a parked process finds a current generation;
+// the rest become stale no-ops. Because all paths run inside the
+// single-threaded engine loop there is no data race.
 type waiter struct {
-	p    *Proc
-	done bool
+	p   *Proc
+	gen uint64
 }
 
-func (w *waiter) fire() {
-	if w.done {
-		return
-	}
-	w.done = true
-	w.p.eng.resumeAndWait(w.p)
+// waiterRef is a wait-list registration: the waiter plus the generation it
+// was armed for.
+type waiterRef struct {
+	w   *waiter
+	gen uint64
+}
+
+// ref captures p's waiter at its current generation for a wait list.
+func (p *Proc) ref() waiterRef { return waiterRef{w: &p.w, gen: p.w.gen} }
+
+// stale reports whether the registration has already been consumed.
+func (r waiterRef) stale() bool { return r.w.gen != r.gen }
+
+// consume claims the registration (making every sibling registration
+// stale) and schedules the resumption of the waiting process at the
+// current time. Callers must check stale() first.
+func (r waiterRef) consume(e *Engine) {
+	r.w.gen++
+	e.wakeAt(e.now, r.w)
 }

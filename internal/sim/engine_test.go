@@ -409,6 +409,58 @@ func TestResourceExclusionProperty(t *testing.T) {
 	}
 }
 
+func TestRunPanicsOnTimeRegression(t *testing.T) {
+	e := NewEngine()
+	e.now = 100
+	e.queue.push(event{at: 50, seq: 1, fn: func() {}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time regression")
+		}
+	}()
+	e.Run()
+}
+
+func TestRunUntilPanicsOnTimeRegression(t *testing.T) {
+	e := NewEngine()
+	e.now = 100
+	e.queue.push(event{at: 50, seq: 1, fn: func() {}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time regression")
+		}
+	}()
+	e.RunUntil(200)
+}
+
+// The reusable per-Proc waiter must stay one-shot per generation: repeated
+// timeouts leave stale wait-list registrations behind, and none of them may
+// steal a later wakeup or lose an item.
+func TestWaiterReuseAcrossRepeatedTimeouts(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	timeouts := 0
+	var got []int
+	e.Go("recv", func(p *Proc) {
+		for len(got) < 2 {
+			if v, ok := q.RecvTimeout(p, 10); ok {
+				got = append(got, v)
+			} else {
+				timeouts++
+			}
+		}
+	})
+	e.After(35, func() { q.Send(1) })
+	e.After(55, func() { q.Send(2) })
+	e.Run()
+	if timeouts < 3 {
+		t.Fatalf("expected at least 3 timeouts, got %d", timeouts)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
 func TestTracerSeesStartAndExit(t *testing.T) {
 	e := NewEngine()
 	var events []string

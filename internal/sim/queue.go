@@ -7,7 +7,7 @@ type Queue[T any] struct {
 	eng     *Engine
 	name    string
 	items   []T
-	waiters []*waiter
+	waiters []waiterRef
 }
 
 // NewQueue creates an empty queue attached to eng.
@@ -36,13 +36,12 @@ func (q *Queue[T]) SendAfter(d Time, v T) {
 
 func (q *Queue[T]) wakeOne() {
 	for len(q.waiters) > 0 {
-		w := q.waiters[0]
+		ref := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		if w.done {
+		if ref.stale() {
 			continue // stale registration (receiver already woken by timeout)
 		}
-		w.done = true
-		q.eng.After(0, func() { q.eng.resumeAndWait(w.p) })
+		ref.consume(q.eng)
 		return
 	}
 }
@@ -55,8 +54,7 @@ func (q *Queue[T]) Recv(p *Proc) T {
 			q.items = q.items[1:]
 			return v
 		}
-		w := &waiter{p: p}
-		q.waiters = append(q.waiters, w)
+		q.waiters = append(q.waiters, p.ref())
 		p.park()
 	}
 }
@@ -86,9 +84,11 @@ func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
 		if q.eng.now >= deadline {
 			return zero, false
 		}
-		w := &waiter{p: p}
-		q.waiters = append(q.waiters, w)
-		q.eng.At(deadline, w.fire)
+		// Two registrations race for one generation: the wait-list entry
+		// and the deadline wakeup. Whichever fires first consumes the
+		// generation; the other goes stale.
+		q.waiters = append(q.waiters, p.ref())
+		q.eng.wakeAt(deadline, &p.w)
 		p.park()
 	}
 }
@@ -98,7 +98,7 @@ func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
 // condition after waking.
 type Cond struct {
 	eng     *Engine
-	waiters []*waiter
+	waiters []waiterRef
 }
 
 // NewCond creates a condition attached to eng.
@@ -106,8 +106,7 @@ func NewCond(eng *Engine) *Cond { return &Cond{eng: eng} }
 
 // Wait parks p until the next Broadcast.
 func (c *Cond) Wait(p *Proc) {
-	w := &waiter{p: p}
-	c.waiters = append(c.waiters, w)
+	c.waiters = append(c.waiters, p.ref())
 	p.park()
 }
 
@@ -115,13 +114,11 @@ func (c *Cond) Wait(p *Proc) {
 func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
-	for _, w := range ws {
-		if w.done {
+	for _, ref := range ws {
+		if ref.stale() {
 			continue
 		}
-		w.done = true
-		ww := w
-		c.eng.After(0, func() { c.eng.resumeAndWait(ww.p) })
+		ref.consume(c.eng)
 	}
 }
 
@@ -133,7 +130,7 @@ type Resource struct {
 	name    string
 	busy    bool
 	holder  *Proc
-	waiters []*waiter
+	waiters []waiterRef
 }
 
 // NewResource creates a free resource attached to eng.
@@ -153,8 +150,7 @@ func (r *Resource) Holder() *Proc { return r.holder }
 // Acquire parks p until the resource is free, then claims it.
 func (r *Resource) Acquire(p *Proc) {
 	for r.busy {
-		w := &waiter{p: p}
-		r.waiters = append(r.waiters, w)
+		r.waiters = append(r.waiters, p.ref())
 		p.park()
 	}
 	r.busy = true
@@ -170,13 +166,12 @@ func (r *Resource) Release(p *Proc) {
 	r.busy = false
 	r.holder = nil
 	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+		ref := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		if w.done {
+		if ref.stale() {
 			continue
 		}
-		w.done = true
-		r.eng.After(0, func() { r.eng.resumeAndWait(w.p) })
+		ref.consume(r.eng)
 		return
 	}
 }
