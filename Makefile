@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench report-diff bench-smoke ci
+.PHONY: all build test race vet fmt-check bench report-diff prof-determinism bench-smoke ci
 
 all: build test
 
@@ -31,7 +31,13 @@ report-diff:
 	/tmp/armvirt-report -j 4 > /tmp/report-parallel.txt
 	diff -u /tmp/report-serial.txt /tmp/report-parallel.txt
 
+prof-determinism:
+	$(GO) build -o /tmp/armvirt-prof ./cmd/armvirt-prof
+	/tmp/armvirt-prof -j 1 -folded > /tmp/prof-serial.folded
+	/tmp/armvirt-prof -j 4 -folded > /tmp/prof-parallel.folded
+	diff -u /tmp/prof-serial.folded /tmp/prof-parallel.folded
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim
 
-ci: fmt-check vet build race report-diff bench-smoke
+ci: fmt-check vet build race report-diff prof-determinism bench-smoke

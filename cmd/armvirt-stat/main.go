@@ -26,7 +26,19 @@ import (
 
 var workloads = []string{"tcp_rr", "tick", "oversub", "faultstorm", "disk"}
 
-func runWorkload(h hyp.Hypervisor, name string) string {
+// runWorkload executes one workload, converting a panic inside the run
+// (model violations panic by design) into an error so the process exits
+// non-zero instead of crashing.
+func runWorkload(h hyp.Hypervisor, name string) (out string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("workload %s failed: %v", name, rec)
+		}
+	}()
+	return runWorkloadBody(h, name), nil
+}
+
+func runWorkloadBody(h hyp.Hypervisor, name string) string {
 	switch name {
 	case "tcp_rr":
 		r := workload.TCPRRVirt(h, workload.DefaultParams())
@@ -72,7 +84,11 @@ func main() {
 	rec := obs.NewRecorder(m.NCPU(), *ringCap)
 	m.SetRecorder(rec)
 
-	result := runWorkload(h, *workloadFlag)
+	result, err := runWorkload(h, *workloadFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armvirt-stat: %v\n", err)
+		os.Exit(1)
+	}
 	sum := obs.Summarize(rec)
 
 	fmt.Printf("%s · %s\n", *platformFlag, *workloadFlag)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"armvirt/internal/bench"
+	"armvirt/internal/hyp"
 	"armvirt/internal/micro"
 	"armvirt/internal/obs"
 )
@@ -42,7 +43,11 @@ func main() {
 		m.SetRecorder(rec)
 	}
 
-	r := micro.TraceOp(h, *op)
+	r, err := traceOp(h, *op)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armvirt-trace: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("%s on %s: %d cycles\n\n", r.Name, *platformFlag, r.Cycles)
 	fmt.Print(r.Breakdown.String())
 
@@ -62,4 +67,15 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d events to %s\n", rec.Total(), *traceOut)
 	}
+}
+
+// traceOp converts a panic inside the traced run (model violations panic by
+// design) into an error so the process exits non-zero instead of crashing.
+func traceOp(h hyp.Hypervisor, op string) (r micro.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("trace failed: %v", rec)
+		}
+	}()
+	return micro.TraceOp(h, op), nil
 }

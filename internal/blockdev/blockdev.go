@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"armvirt/internal/cpu"
+	"armvirt/internal/obs"
 	"armvirt/internal/sim"
 )
 
@@ -30,7 +31,9 @@ type Disk struct {
 	FixedLatency sim.Time
 	// CyclesPerByte is the media transfer rate.
 	CyclesPerByte float64
-	served        int64
+	// Rec, when non-nil, receives cycle attribution for request service.
+	Rec    *obs.Recorder
+	served int64
 }
 
 // DiskSpec describes a device.
@@ -62,7 +65,9 @@ func NewDisk(eng *sim.Engine, name string, spec DiskSpec, freqMHz int) *Disk {
 // requests (cache=none: every request reaches the device).
 func (d *Disk) Serve(p *sim.Proc, n int) {
 	d.res.Acquire(p)
-	p.Sleep(d.FixedLatency + sim.Time(float64(n)*d.CyclesPerByte))
+	cost := d.FixedLatency + sim.Time(float64(n)*d.CyclesPerByte)
+	d.Rec.ChargeCycles(p, "disk service", int64(cost))
+	p.Sleep(cost)
 	d.served++
 	d.res.Release(p)
 }

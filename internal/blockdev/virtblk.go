@@ -99,6 +99,7 @@ func summarize(label string, lat *stats.Sample, n int, start, end sim.Time, freq
 func RunVirt(h hyp.Hypervisor, disk *Disk, cfg BenchConfig) BenchResult {
 	m := h.Machine()
 	eng := m.Eng
+	disk.Rec = m.Rec
 	freqMHz := m.Cost.FreqMHz
 	us := func(x float64) sim.Time { return sim.Time(x * float64(freqMHz)) }
 
@@ -184,7 +185,10 @@ func RunVirt(h hyp.Hypervisor, disk *Disk, cfg BenchConfig) BenchResult {
 			served := 0
 			for served < cfg.Requests {
 				b.Inbox.Recv(p)
-				for backendWork(p, func(_ string, c cpu.Cycles) { p.Sleep(sim.Time(c)) }) {
+				for backendWork(p, func(n string, c cpu.Cycles) {
+					m.Rec.ChargeCycles(p, n, int64(c))
+					p.Sleep(sim.Time(c))
+				}) {
 					served++
 				}
 			}

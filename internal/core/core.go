@@ -93,6 +93,8 @@ func Experiments() []Experiment {
 			func() Result { return bench.RunMemory() }},
 		{"V1", "Model Validation — Closed Forms vs Simulation", Validation,
 			func() Result { return bench.RunValidations() }},
+		{"P1", "Extension — Per-Phase Cycle Attribution", Extension,
+			func() Result { return bench.RunPhaseBreakdowns(nil, nil, 1) }},
 		{"R1", "Robustness — Calibration Sensitivity", Validation,
 			func() Result { return bench.RunSensitivity(40, 0.20, 1) }},
 	}

@@ -1,5 +1,7 @@
 package cpu
 
+import "fmt"
+
 // CostModel is the table of *hardware* primitive costs for one simulated
 // server platform, in CPU cycles. Software costs (hypervisor handler and
 // emulation paths) live with the hypervisor implementations; this struct
@@ -77,6 +79,46 @@ type CostModel struct {
 	// Stage2FaultHW is the hardware cost of delivering a Stage-2 page
 	// fault to the hypervisor (on top of TrapToEL2/VMExitHW).
 	Stage2FaultHW Cycles
+}
+
+// Validate checks the model is usable: a positive frequency (a zero
+// FreqMHz would silently yield Inf/NaN microsecond conversions) and no
+// negative primitive costs. hw.New panics on the first violation, so a
+// malformed model fails at machine construction instead of corrupting
+// results.
+func (cm *CostModel) Validate() error {
+	if cm.FreqMHz <= 0 {
+		return fmt.Errorf("cpu: cost model FreqMHz = %d, must be positive", cm.FreqMHz)
+	}
+	prims := []struct {
+		name string
+		c    Cycles
+	}{
+		{"TrapToEL2", cm.TrapToEL2}, {"ERET", cm.ERET},
+		{"Stage2Toggle", cm.Stage2Toggle}, {"TrapToggle", cm.TrapToggle},
+		{"VirqCompleteHW", cm.VirqCompleteHW},
+		{"VMExitHW", cm.VMExitHW}, {"VMEntryHW", cm.VMEntryHW}, {"VMCSSwitch", cm.VMCSSwitch},
+		{"IPISend", cm.IPISend}, {"IPIWire", cm.IPIWire}, {"IRQEntry", cm.IRQEntry},
+		{"TLBIBroadcast", cm.TLBIBroadcast},
+		{"PageTableWalkPerLevel", cm.PageTableWalkPerLevel},
+		{"Stage2FaultHW", cm.Stage2FaultHW},
+	}
+	for _, p := range prims {
+		if p.c < 0 {
+			return fmt.Errorf("cpu: cost model %s = %d, must not be negative", p.name, p.c)
+		}
+	}
+	for cls := RegClass(0); cls < numRegClasses; cls++ {
+		sr := cm.Class[cls]
+		if sr.Save < 0 || sr.Restore < 0 {
+			return fmt.Errorf("cpu: cost model class %v save/restore = %d/%d, must not be negative",
+				cls, sr.Save, sr.Restore)
+		}
+	}
+	if cm.CopyPerByte < 0 {
+		return fmt.Errorf("cpu: cost model CopyPerByte = %g, must not be negative", cm.CopyPerByte)
+	}
+	return nil
 }
 
 // CyclesToMicros converts a cycle count to microseconds on this platform.

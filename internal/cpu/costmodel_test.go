@@ -1,0 +1,45 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func validModel() *CostModel {
+	cm := &CostModel{Arch: ARM, FreqMHz: 2400, TrapToEL2: 40, ERET: 65}
+	cm.SetClass(GP, 152, 184)
+	return cm
+}
+
+func TestValidateAcceptsSaneModel(t *testing.T) {
+	if err := validModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CostModel)
+		want   string
+	}{
+		{"zero freq", func(cm *CostModel) { cm.FreqMHz = 0 }, "FreqMHz"},
+		{"negative freq", func(cm *CostModel) { cm.FreqMHz = -2400 }, "FreqMHz"},
+		{"negative primitive", func(cm *CostModel) { cm.TrapToEL2 = -1 }, "TrapToEL2"},
+		{"negative class save", func(cm *CostModel) { cm.SetClass(VGIC, -5, 10) }, "VGIC"},
+		{"negative class restore", func(cm *CostModel) { cm.SetClass(Timer, 5, -10) }, "Timer"},
+		{"negative copy rate", func(cm *CostModel) { cm.CopyPerByte = -0.5 }, "CopyPerByte"},
+	}
+	for _, tc := range cases {
+		cm := validModel()
+		tc.mutate(cm)
+		err := cm.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a broken model", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}

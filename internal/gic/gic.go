@@ -34,6 +34,14 @@ const (
 	FirstSPI IRQ = 32
 )
 
+// Profiler span names for interrupt-controller state work: hypervisors
+// open these around their vgic save/restore sequences so the profiler's
+// breakdowns group the GIC share of a world switch under one phase.
+const (
+	SpanSave    = "gic-save"
+	SpanRestore = "gic-restore"
+)
+
 // Class returns "SGI", "PPI" or "SPI".
 func (i IRQ) Class() string {
 	switch {

@@ -76,6 +76,9 @@ func New(cfg Config) *Machine {
 	if cfg.Cost.Arch != cfg.Arch {
 		panic(fmt.Sprintf("hw: cost model is for %v, machine is %v", cfg.Cost.Arch, cfg.Arch))
 	}
+	if err := cfg.Cost.Validate(); err != nil {
+		panic(fmt.Sprintf("hw: %v", err))
+	}
 	nLR := cfg.NumLRs
 	if nLR == 0 {
 		nLR = gic.DefaultNumLRs
@@ -140,6 +143,7 @@ func (m *Machine) SetRecorder(r *obs.Recorder) {
 // IRQ inbox after the wire latency. On x86 there is no distributor; the
 // LAPIC ICR path is modelled with the same send/wire costs.
 func (m *Machine) SendIPI(p *sim.Proc, to int, irq gic.IRQ) {
+	m.Rec.ChargeCycles(p, "IPI send", int64(m.Cost.IPISend))
 	p.Sleep(sim.Time(m.Cost.IPISend))
 	if m.Arch == cpu.ARM {
 		m.Dist.SendSGI(to, irq)

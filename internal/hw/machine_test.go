@@ -38,10 +38,16 @@ func TestNewARMAndX86Machines(t *testing.T) {
 }
 
 func TestNewRejectsBadConfig(t *testing.T) {
+	zeroFreq := armCost()
+	zeroFreq.FreqMHz = 0
+	negCost := armCost()
+	negCost.IPISend = -1
 	for name, cfg := range map[string]Config{
-		"no CPUs":       {Arch: cpu.ARM, NCPU: 0, Cost: armCost()},
-		"no cost":       {Arch: cpu.ARM, NCPU: 2},
-		"arch mismatch": {Arch: cpu.X86, NCPU: 2, Cost: armCost()},
+		"no CPUs":        {Arch: cpu.ARM, NCPU: 0, Cost: armCost()},
+		"no cost":        {Arch: cpu.ARM, NCPU: 2},
+		"arch mismatch":  {Arch: cpu.X86, NCPU: 2, Cost: armCost()},
+		"zero frequency": {Arch: cpu.ARM, NCPU: 2, Cost: zeroFreq},
+		"negative cost":  {Arch: cpu.ARM, NCPU: 2, Cost: negCost},
 	} {
 		func() {
 			defer func() {

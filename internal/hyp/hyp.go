@@ -150,13 +150,26 @@ func (v *VCPU) DrainSoft() []gic.IRQ {
 }
 
 // Charge makes the VCPU's current execution pay c cycles and attributes
-// them to name in the VCPU's breakdown recorder (if any).
+// them to name in the VCPU's breakdown recorder (if any) and, under the
+// fiber's current span stack, in the machine's profiler.
 func (v *VCPU) Charge(p *sim.Proc, name string, c cpu.Cycles) {
 	if c <= 0 {
 		return
 	}
 	v.BR.Add(name, c)
+	v.VM.Hyp.Machine().Rec.ChargeCycles(p, name, int64(c))
 	p.Sleep(sim.Time(c))
+}
+
+// Span opens a named profiling phase on the fiber p; cycles charged until
+// the matching EndSpan are attributed under it. No-op without a recorder.
+func (v *VCPU) Span(p *sim.Proc, name string) {
+	v.VM.Hyp.Machine().Rec.Span(p, name)
+}
+
+// EndSpan closes the fiber's innermost profiling phase.
+func (v *VCPU) EndSpan(p *sim.Proc) {
+	v.VM.Hyp.Machine().Rec.EndSpan(p)
 }
 
 // Hypervisor is the operation surface both hypervisor models implement.

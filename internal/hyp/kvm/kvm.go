@@ -108,6 +108,8 @@ func (k *KVM) exitToHost(p *sim.Proc, v *hyp.VCPU) {
 	if !v.InGuest {
 		panic(fmt.Sprintf("kvm: exitToHost for %v which is not in guest", v))
 	}
+	v.Span(p, "exit-to-host")
+	defer v.EndSpan(p)
 	pc := v.CPU
 	cm := k.m.Cost
 	switch {
@@ -125,7 +127,13 @@ func (k *KVM) exitToHost(p *sim.Proc, v *hyp.VCPU) {
 		v.Charge(p, "trap to EL2", cm.TrapToEL2)
 		pc.P.Trap()
 		for _, cls := range armAllClasses {
+			if cls == cpu.VGIC {
+				v.Span(p, gic.SpanSave)
+			}
 			v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
+			if cls == cpu.VGIC {
+				v.EndSpan(p)
+			}
 		}
 		v.VgicImage = pc.VIface.SaveImage()
 		pc.P.SaveState(v.Ctx, armAllClasses...)
@@ -147,6 +155,8 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 	if v.InGuest {
 		panic(fmt.Sprintf("kvm: enterGuest for %v which is already in guest", v))
 	}
+	v.Span(p, "enter-guest")
+	defer v.EndSpan(p)
 	pc := v.CPU
 	cm := k.m.Cost
 	switch {
@@ -172,14 +182,26 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 			// which lives in EL2 registers).
 			if cur != nil {
 				for _, cls := range armAllClasses[1:] { // GP already saved at exit
+					if cls == cpu.VGIC {
+						v.Span(p, gic.SpanSave)
+					}
 					v.Charge(p, cls.String()+": save (other VM)", cm.Class[cls].Save)
+					if cls == cpu.VGIC {
+						v.EndSpan(p)
+					}
 				}
 				cur.VgicImage = pc.VIface.SaveImage()
 				pc.P.SaveState(cur.Ctx, armAllClasses[1:]...)
 				cur.Resident = false
 			}
 			for _, cls := range armAllClasses[1:] {
+				if cls == cpu.VGIC {
+					v.Span(p, gic.SpanRestore)
+				}
 				v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
+				if cls == cpu.VGIC {
+					v.EndSpan(p)
+				}
 			}
 			pc.VIface.LoadImage(v.VgicImage)
 			pc.P.LoadState(v.Ctx, armAllClasses[1:]...)
@@ -201,7 +223,13 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.EnableStage2()
 		pc.P.EnableTraps()
 		for _, cls := range armAllClasses {
+			if cls == cpu.VGIC {
+				v.Span(p, gic.SpanRestore)
+			}
 			v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
+			if cls == cpu.VGIC {
+				v.EndSpan(p)
+			}
 		}
 		pc.VIface.LoadImage(v.VgicImage)
 		pc.P.LoadState(v.Ctx, armAllClasses...)
@@ -228,6 +256,8 @@ func (k *KVM) ExitGuest(p *sim.Proc, v *hyp.VCPU) { k.exitToHost(p, v) }
 // Table II row 1.
 func (k *KVM) Hypercall(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("hypercall")
+	v.Span(p, "hypercall")
+	defer v.EndSpan(p)
 	k.exitToHost(p, v)
 	v.Charge(p, "hypercall handler", k.c.HostHandler)
 	k.enterGuest(p, v)
@@ -238,6 +268,8 @@ func (k *KVM) Hypercall(p *sim.Proc, v *hyp.VCPU) {
 // the full world switch is paid around it.
 func (k *KVM) GICTrap(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("mmio")
+	v.Span(p, "gic-trap")
+	defer v.EndSpan(p)
 	if k.m.Arch == cpu.X86 {
 		k.exitToHost(p, v)
 		v.Charge(p, "APIC access emulation", k.c.APICAccess)
@@ -253,6 +285,8 @@ func (k *KVM) GICTrap(p *sim.Proc, v *hyp.VCPU) {
 // SendVirtIPI implements hyp.Hypervisor: Table II row 3, sender half.
 func (k *KVM) SendVirtIPI(p *sim.Proc, v *hyp.VCPU, target *hyp.VCPU) {
 	v.CountExit("sgi")
+	v.Span(p, "send-virt-ipi")
+	defer v.EndSpan(p)
 	k.exitToHost(p, v)
 	v.Charge(p, "SGI emulation (mark pending)", k.c.SGIEmulate)
 	target.PostSoft(hyp.VirqGuestIPI)
@@ -265,6 +299,8 @@ func (k *KVM) SendVirtIPI(p *sim.Proc, v *hyp.VCPU, target *hyp.VCPU) {
 // the vgic, and re-enters.
 func (k *KVM) HandlePhysIRQ(p *sim.Proc, v *hyp.VCPU, d gic.Delivery) {
 	v.CountExit("irq")
+	v.Span(p, "phys-irq")
+	defer v.EndSpan(p)
 	k.exitToHost(p, v)
 	v.Charge(p, "host GIC ack/EOI", k.c.PhysIRQAck)
 	for _, virq := range hyp.TranslateDelivery(v, d) {
@@ -280,6 +316,8 @@ func (k *KVM) HandlePhysIRQ(p *sim.Proc, v *hyp.VCPU, d gic.Delivery) {
 // the guest.
 func (k *KVM) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("wfi")
+	v.Span(p, "wfi-block")
+	defer v.EndSpan(p)
 	k.exitToHost(p, v)
 	v.Charge(p, "host: deschedule VCPU thread", k.c.BlockVCPU)
 	d := v.CPU.IRQ.Recv(p)
@@ -301,6 +339,8 @@ func (k *KVM) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 // the EOI write.
 func (k *KVM) CompleteVirq(p *sim.Proc, v *hyp.VCPU, virq gic.IRQ) {
 	cm := k.m.Cost
+	v.Span(p, "virq-complete")
+	defer v.EndSpan(p)
 	if k.m.Arch == cpu.ARM {
 		v.Charge(p, "virq ack+complete (no trap)", cm.VirqCompleteHW)
 		v.CPU.VIface.Complete(virq)
@@ -328,6 +368,8 @@ func (k *KVM) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 	}
 	from.CountExit("preempt")
 	from.Emit(obs.VMSwitch, "sched", int64(to.VM.VMID))
+	from.Span(p, "vm-switch")
+	defer from.EndSpan(p)
 	k.exitToHost(p, from)
 	from.Charge(p, "host scheduler: thread switch", k.c.HostSchedSwitch)
 	to.BR = from.BR // attribute the whole switch to one recorder
@@ -340,6 +382,8 @@ func (k *KVM) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 // are host threads, not VCPUs.
 func (k *KVM) NotifyGuest(p *sim.Proc, _ *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ) {
 	v.Emit(obs.IOKick, "irqfd", int64(virq))
+	v.Span(p, "notify-guest")
+	defer v.EndSpan(p)
 	v.Charge(p, "irqfd + vgic update", k.c.Irqfd)
 	v.Charge(p, "notify path (softirq/eventfd)", k.c.NotifyResidual)
 	v.PostSoft(virq)
@@ -352,6 +396,8 @@ func (k *KVM) NotifyGuest(p *sim.Proc, _ *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ) {
 func (k *KVM) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 	v.CountExit("mmio-kick")
 	v.Emit(obs.IOKick, "ioeventfd", int64(b.CPU.P.ID()))
+	v.Span(p, "kick-backend")
+	defer v.EndSpan(p)
 	k.exitToHost(p, v)
 	v.Charge(p, "ioeventfd signal", k.c.Ioeventfd)
 	if k.c.KickNeedsIPI {
@@ -379,6 +425,8 @@ func (k *KVM) BackendDispatch(*sim.Proc, *hyp.Backend) {}
 func (k *KVM) Stage2Fault(p *sim.Proc, v *hyp.VCPU, ipa mem.IPA) {
 	v.CountExit("stage2-fault")
 	v.Emit(obs.Stage2Fault, "", int64(ipa))
+	v.Span(p, "stage2-fault")
+	defer v.EndSpan(p)
 	v.Charge(p, "stage-2 fault (hw)", k.m.Cost.Stage2FaultHW)
 	k.exitToHost(p, v)
 	v.Charge(p, "host: allocate + map page", k.c.FaultWork)

@@ -140,6 +140,8 @@ func (x *Xen) lightTrap(p *sim.Proc, v *hyp.VCPU) {
 	if !v.InGuest {
 		panic(fmt.Sprintf("xen: trap from %v which is not in guest", v))
 	}
+	v.Span(p, "light-trap")
+	defer v.EndSpan(p)
 	if x.m.Arch == cpu.X86 {
 		v.Charge(p, "VM exit (VMCS hardware switch)", x.m.Cost.VMExitHW)
 		v.CPU.P.Trap()
@@ -154,6 +156,8 @@ func (x *Xen) lightTrap(p *sim.Proc, v *hyp.VCPU) {
 
 // lightReturn resumes the trapped guest.
 func (x *Xen) lightReturn(p *sim.Proc, v *hyp.VCPU) {
+	v.Span(p, "light-return")
+	defer v.EndSpan(p)
 	if x.m.Arch == cpu.X86 {
 		v.Charge(p, "VM entry (VMCS hardware switch)", x.m.Cost.VMEntryHW)
 		v.CPU.P.EnterGuestKernel()
@@ -171,9 +175,17 @@ func (x *Xen) lightReturn(p *sim.Proc, v *hyp.VCPU) {
 // saveVMState moves a VCPU's full state out of the hardware (the expensive
 // half of a VM switch). ARM only; x86 state lives in the VMCS.
 func (x *Xen) saveVMState(p *sim.Proc, v *hyp.VCPU) {
+	v.Span(p, "save-vm-state")
+	defer v.EndSpan(p)
 	cm := x.m.Cost
 	for _, cls := range armVMClasses {
+		if cls == cpu.VGIC {
+			v.Span(p, gic.SpanSave)
+		}
 		v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
+		if cls == cpu.VGIC {
+			v.EndSpan(p)
+		}
 	}
 	v.VgicImage = v.CPU.VIface.SaveImage()
 	v.CPU.P.SaveState(v.Ctx, armVMClasses...)
@@ -187,8 +199,16 @@ func (x *Xen) loadVMState(p *sim.Proc, v *hyp.VCPU) {
 	if cur := x.resident[v.CPU.P.ID()]; cur != nil {
 		panic(fmt.Sprintf("xen: loading %v while %v still resident", v, cur))
 	}
+	v.Span(p, "load-vm-state")
+	defer v.EndSpan(p)
 	for _, cls := range armVMClasses {
+		if cls == cpu.VGIC {
+			v.Span(p, gic.SpanRestore)
+		}
 		v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
+		if cls == cpu.VGIC {
+			v.EndSpan(p)
+		}
 	}
 	v.CPU.VIface.LoadImage(v.VgicImage)
 	v.CPU.P.LoadState(v.Ctx, armVMClasses...)
@@ -247,6 +267,8 @@ func (x *Xen) ExitGuest(p *sim.Proc, v *hyp.VCPU) {
 // trip is a light trap, a handler, and a return.
 func (x *Xen) Hypercall(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("hypercall")
+	v.Span(p, "hypercall")
+	defer v.EndSpan(p)
 	x.lightTrap(p, v)
 	v.Charge(p, "hypercall handler", x.c.Handler)
 	x.lightReturn(p, v)
@@ -257,6 +279,8 @@ func (x *Xen) Hypercall(p *sim.Proc, v *hyp.VCPU) {
 // the emulation.
 func (x *Xen) GICTrap(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("mmio")
+	v.Span(p, "gic-trap")
+	defer v.EndSpan(p)
 	x.lightTrap(p, v)
 	if x.m.Arch == cpu.X86 {
 		v.Charge(p, "APIC access emulation", x.c.APICAccess)
@@ -269,6 +293,8 @@ func (x *Xen) GICTrap(p *sim.Proc, v *hyp.VCPU) {
 // SendVirtIPI implements hyp.Hypervisor: Table II row 3, sender half.
 func (x *Xen) SendVirtIPI(p *sim.Proc, v *hyp.VCPU, target *hyp.VCPU) {
 	v.CountExit("sgi")
+	v.Span(p, "send-virt-ipi")
+	defer v.EndSpan(p)
 	x.lightTrap(p, v)
 	v.Charge(p, "SGI emulation (distributor)", x.c.SGIEmulate)
 	target.PostSoft(hyp.VirqGuestIPI)
@@ -281,6 +307,8 @@ func (x *Xen) SendVirtIPI(p *sim.Proc, v *hyp.VCPU, target *hyp.VCPU) {
 // and resumes the guest — no EL1 round trip needed.
 func (x *Xen) HandlePhysIRQ(p *sim.Proc, v *hyp.VCPU, d gic.Delivery) {
 	v.CountExit("irq")
+	v.Span(p, "phys-irq")
+	defer v.EndSpan(p)
 	x.lightTrap(p, v)
 	v.Charge(p, "Xen GIC ack/EOI", x.c.PhysIRQAck)
 	for _, virq := range hyp.TranslateDelivery(v, d) {
@@ -297,6 +325,8 @@ func (x *Xen) HandlePhysIRQ(p *sim.Proc, v *hyp.VCPU, d gic.Delivery) {
 // problem (§IV).
 func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	v.CountExit("wfi")
+	v.Span(p, "wfi-block")
+	defer v.EndSpan(p)
 	pc := v.CPU
 	cm := x.m.Cost
 	if x.m.Arch == cpu.X86 {
@@ -347,6 +377,8 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 // x86 without vAPIC.
 func (x *Xen) CompleteVirq(p *sim.Proc, v *hyp.VCPU, virq gic.IRQ) {
 	cm := x.m.Cost
+	v.Span(p, "virq-complete")
+	defer v.EndSpan(p)
 	if x.m.Arch == cpu.ARM {
 		v.Charge(p, "virq ack+complete (no trap)", cm.VirqCompleteHW)
 		v.CPU.VIface.Complete(virq)
@@ -373,6 +405,8 @@ func (x *Xen) SwitchVM(p *sim.Proc, from, to *hyp.VCPU) {
 	}
 	from.CountExit("preempt")
 	from.Emit(obs.VMSwitch, "sched", int64(to.VM.VMID))
+	from.Span(p, "vm-switch")
+	defer from.EndSpan(p)
 	cm := x.m.Cost
 	to.BR = from.BR
 	if x.m.Arch == cpu.X86 {
@@ -398,6 +432,8 @@ func (x *Xen) NotifyGuest(p *sim.Proc, from *hyp.VCPU, v *hyp.VCPU, virq gic.IRQ
 		panic("xen: NotifyGuest requires the Dom0 VCPU it runs on")
 	}
 	from.Emit(obs.IOKick, "evtchn-notify", int64(virq))
+	from.Span(p, "notify-guest")
+	defer from.EndSpan(p)
 	from.Charge(p, "netback ring + grant bookkeeping", x.c.NotifyRingWork)
 	x.lightTrap(p, from)
 	from.Charge(p, "evtchn_send handler", x.c.EvtchnSend)
@@ -422,6 +458,8 @@ func (x *Xen) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 	}
 	v.CountExit("evtchn-kick")
 	v.Emit(obs.IOKick, "evtchn-kick", int64(b.Dom0VCPU.CPU.P.ID()))
+	v.Span(p, "kick-backend")
+	defer v.EndSpan(p)
 	x.lightTrap(p, v)
 	v.Charge(p, "evtchn_send handler", x.c.EvtchnSend)
 	ch := x.ioChannel(v.VM)
@@ -441,6 +479,8 @@ func (x *Xen) KickBackend(p *sim.Proc, v *hyp.VCPU, b *hyp.Backend) {
 func (x *Xen) Stage2Fault(p *sim.Proc, v *hyp.VCPU, ipa mem.IPA) {
 	v.CountExit("stage2-fault")
 	v.Emit(obs.Stage2Fault, "", int64(ipa))
+	v.Span(p, "stage2-fault")
+	defer v.EndSpan(p)
 	v.Charge(p, "stage-2 fault (hw)", x.m.Cost.Stage2FaultHW)
 	x.lightTrap(p, v)
 	v.Charge(p, "Xen: allocate + map page", x.c.FaultWork)
@@ -457,6 +497,8 @@ func (x *Xen) Stage2Fault(p *sim.Proc, v *hyp.VCPU, ipa mem.IPA) {
 // scanned, validating that an event was actually sent) and wakes the
 // netback worker.
 func (x *Xen) BackendDispatch(p *sim.Proc, b *hyp.Backend) {
+	b.Dom0VCPU.Span(p, "backend-dispatch")
+	defer b.Dom0VCPU.EndSpan(p)
 	b.Dom0VCPU.Charge(p, "evtchn upcall dispatch", x.c.UpcallDispatch)
 	if ports := x.evtchn[x.dom0.VMID].ScanPending(); len(ports) == 0 {
 		panic("xen: upcall with no pending event channel")

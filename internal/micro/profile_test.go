@@ -1,0 +1,82 @@
+package micro
+
+import (
+	"testing"
+
+	"armvirt/internal/hyp"
+	"armvirt/internal/platform"
+)
+
+var profilePlatforms = map[string]func() hyp.Hypervisor{
+	"KVM ARM": func() hyp.Hypervisor { return platform.NewKVMARM().Hyp() },
+	"Xen ARM": func() hyp.Hypervisor { return platform.NewXenARM().Hyp() },
+	"KVM x86": func() hyp.Hypervisor { return platform.NewKVMX86().Hyp() },
+	"Xen x86": func() hyp.Hypervisor { return platform.NewXenX86().Hyp() },
+}
+
+// The acceptance bar for the profiler: the phase sums of every profiled
+// operation equal the measured operation total exactly — nothing spent in
+// the measured window escapes attribution.
+func TestProfileTotalEqualsMeasuredCycles(t *testing.T) {
+	for name, newHyp := range profilePlatforms {
+		for _, op := range TracedOps {
+			pr := ProfileOp(newHyp(), op)
+			if got, want := pr.Profile.Total(), int64(pr.Cycles); got != want {
+				t.Errorf("%s/%s: profile total %d != measured %d cycles\n%s",
+					name, op, got, want, pr.Profile.Folded())
+			}
+			if pr.Cycles <= 0 {
+				t.Errorf("%s/%s: measured %d cycles", name, op, pr.Cycles)
+			}
+		}
+	}
+}
+
+// The profiled hypercall must agree exactly with the Hypercall
+// microbenchmark's steady-state mean on all four paper platforms: the
+// profiler is an attribution layer, not a different measurement.
+func TestProfiledHypercallMatchesMicrobenchmark(t *testing.T) {
+	for name, newHyp := range profilePlatforms {
+		pr := ProfileOp(newHyp(), "hypercall")
+		bench := Hypercall(newHyp())
+		if bench.CV != 0 {
+			t.Errorf("%s: hypercall CV = %v, want deterministic steady state", name, bench.CV)
+		}
+		if pr.Cycles != bench.Cycles {
+			t.Errorf("%s: profiled hypercall = %d cycles, microbenchmark = %d",
+				name, pr.Cycles, bench.Cycles)
+		}
+		if pr.Profile.Total() != int64(bench.Cycles) {
+			t.Errorf("%s: profile phase sum %d != microbenchmark total %d",
+				name, pr.Profile.Total(), bench.Cycles)
+		}
+	}
+}
+
+// The profiled ops must agree with TraceOp's flat breakdown totals too.
+func TestProfileMatchesTracedTotals(t *testing.T) {
+	for name, newHyp := range profilePlatforms {
+		for _, op := range TracedOps {
+			pr := ProfileOp(newHyp(), op)
+			tr := TraceOp(newHyp(), op)
+			if pr.Cycles != tr.Cycles {
+				t.Errorf("%s/%s: profiled %d cycles, traced %d", name, op, pr.Cycles, tr.Cycles)
+			}
+		}
+	}
+}
+
+// Two runs of the same profiled op must produce byte-identical folded
+// output — the determinism the CI step diffs on.
+func TestProfileOpDeterministic(t *testing.T) {
+	for name, newHyp := range profilePlatforms {
+		a := ProfileOp(newHyp(), "hypercall").Profile.Folded()
+		b := ProfileOp(newHyp(), "hypercall").Profile.Folded()
+		if a != b {
+			t.Errorf("%s: folded output differs across runs:\n%s\n---\n%s", name, a, b)
+		}
+		if a == "" {
+			t.Errorf("%s: empty folded output", name)
+		}
+	}
+}

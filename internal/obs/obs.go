@@ -174,6 +174,9 @@ type Recorder struct {
 	rings  []*ring // ncpu per-CPU rings + 1 machine ring
 	seq    uint64
 	counts [numKinds]int64
+	// profiling holds the span-profiler state (profile.go), created
+	// lazily on first Span/ChargeCycles use.
+	profiling *profState
 }
 
 // NewRecorder creates a recorder for a machine with ncpu physical CPUs.

@@ -1,0 +1,182 @@
+// pprof export: the span profile serialized as a pprof-compatible
+// profile.proto protobuf (gzipped), so `go tool pprof` can render the
+// simulation's cost structure as flamegraphs, top lists and call graphs.
+// "Samples" are simulated cycles: each leaf of the span tree becomes one
+// sample whose location stack is the phase stack (leaf-first, as pprof
+// expects) and whose values are the attributed cycles and the equivalent
+// wall-clock nanoseconds at the platform's frequency.
+//
+// The encoder is a minimal hand-rolled protobuf writer over the subset of
+// profile.proto the export needs (sample_type, sample, location, function,
+// string_table, period) — no dependencies beyond the standard library, and
+// fully deterministic: string/function/location IDs are assigned in
+// first-use order and the gzip header carries no timestamp, so identical
+// profiles serialize byte-identically.
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// PprofSample is one pprof sample: a phase stack (outermost frame first)
+// with its simulated-cycle cost and wall-clock equivalent.
+type PprofSample struct {
+	Stack  []string
+	Cycles int64
+	Nanos  int64
+}
+
+// PprofSamples converts profile entries to pprof samples, converting
+// cycles to nanoseconds at freqMHz and prepending any prefix frames (a
+// platform or operation label) to every stack.
+func PprofSamples(entries []ProfileEntry, freqMHz int, prefix ...string) []PprofSample {
+	out := make([]PprofSample, 0, len(entries))
+	for _, e := range entries {
+		stack := make([]string, 0, len(prefix)+len(e.Stack))
+		stack = append(stack, prefix...)
+		stack = append(stack, e.Stack...)
+		s := PprofSample{Stack: stack, Cycles: e.Cycles}
+		if freqMHz > 0 {
+			s.Nanos = e.Cycles * 1000 / int64(freqMHz)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// protoBuf is an append-only protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (pb *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		pb.b = append(pb.b, byte(v)|0x80)
+		v >>= 7
+	}
+	pb.b = append(pb.b, byte(v))
+}
+
+func (pb *protoBuf) tag(field, wire int) { pb.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uintField emits a varint-typed field, omitting the default zero.
+func (pb *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	pb.tag(field, 0)
+	pb.varint(v)
+}
+
+func (pb *protoBuf) bytesField(field int, data []byte) {
+	pb.tag(field, 2)
+	pb.varint(uint64(len(data)))
+	pb.b = append(pb.b, data...)
+}
+
+func (pb *protoBuf) stringField(field int, s string) {
+	pb.tag(field, 2)
+	pb.varint(uint64(len(s)))
+	pb.b = append(pb.b, s...)
+}
+
+// packedUints emits a repeated varint field in packed encoding.
+func (pb *protoBuf) packedUints(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	pb.bytesField(field, inner.b)
+}
+
+// valueType encodes a profile.proto ValueType{type, unit} message.
+func valueType(typeIdx, unitIdx uint64) []byte {
+	var pb protoBuf
+	pb.uintField(1, typeIdx)
+	pb.uintField(2, unitIdx)
+	return pb.b
+}
+
+// WritePprof serializes the samples as a gzipped pprof profile. Sample
+// values are [cycles, nanoseconds]; the default sample type is cycles.
+// Output is byte-identical for identical input.
+func WritePprof(w io.Writer, samples []PprofSample) error {
+	strings := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	str := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strings))
+		strings = append(strings, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// One function + one location per unique frame name, IDs assigned in
+	// first-use order (IDs are 1-based; 0 is reserved).
+	var frameOrder []string
+	frameID := map[string]uint64{}
+	frame := func(name string) uint64 {
+		if id, ok := frameID[name]; ok {
+			return id
+		}
+		id := uint64(len(frameOrder) + 1)
+		frameOrder = append(frameOrder, name)
+		frameID[name] = id
+		str(name)
+		return id
+	}
+
+	cyclesIdx := str("cycles")
+	timeIdx := str("time")
+	nanosIdx := str("nanoseconds")
+
+	var sampleMsgs []protoBuf
+	for _, s := range samples {
+		locs := make([]uint64, 0, len(s.Stack))
+		for i := len(s.Stack) - 1; i >= 0; i-- { // pprof wants leaf first
+			locs = append(locs, frame(s.Stack[i]))
+		}
+		var sm protoBuf
+		sm.packedUints(1, locs)
+		sm.packedUints(2, []uint64{uint64(s.Cycles), uint64(s.Nanos)})
+		sampleMsgs = append(sampleMsgs, sm)
+	}
+
+	var p protoBuf
+	p.bytesField(1, valueType(cyclesIdx, cyclesIdx)) // sample_type: cycles/cycles
+	p.bytesField(1, valueType(timeIdx, nanosIdx))    // sample_type: time/nanoseconds
+	for _, sm := range sampleMsgs {
+		p.bytesField(2, sm.b)
+	}
+	for i, name := range frameOrder {
+		id := uint64(i + 1)
+		var fn protoBuf // Function{id, name, system_name}
+		fn.uintField(1, id)
+		fn.uintField(2, strIdx[name])
+		fn.uintField(3, strIdx[name])
+		var line protoBuf // Line{function_id}
+		line.uintField(1, id)
+		var loc protoBuf // Location{id, line}
+		loc.uintField(1, id)
+		loc.bytesField(4, line.b)
+		p.bytesField(4, loc.b)
+		p.bytesField(5, fn.b)
+	}
+	for _, s := range strings {
+		p.stringField(6, s)
+	}
+	p.bytesField(11, valueType(cyclesIdx, cyclesIdx)) // period_type
+	p.uintField(12, 1)                                // period
+	p.uintField(14, uint64(cyclesIdx))                // default_sample_type
+
+	// Gzip with an empty header (no mod time, no name): deterministic.
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -115,6 +115,7 @@ func (d *Dispatcher) LeastLoaded() int {
 func (d *Dispatcher) ExecOn(p *sim.Proc, i int, cost sim.Time) {
 	d.backlog[i] += cost
 	d.res[i].Acquire(p)
+	d.Rec.ChargeCycles(p, "dispatch exec", int64(cost))
 	p.Sleep(cost)
 	d.busy[i] += cost
 	d.backlog[i] -= cost

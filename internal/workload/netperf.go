@@ -190,7 +190,9 @@ func tcprrKVM(h hyp.Hypervisor, prm Params) TCPRRResult {
 		for i := 0; i < f.total; i++ {
 			pk := f.nic.RxQueue.Recv(p)
 			pk.SetStamp("recv", int64(p.Now()))
-			p.Sleep(f.us(prm.HostStackRecv + prm.BridgeTap + prm.VhostRx))
+			rxWork := f.us(prm.HostStackRecv + prm.BridgeTap + prm.VhostRx)
+			f.m.Rec.ChargeCycles(p, "host rx stack + vhost", int64(rxWork))
+			p.Sleep(rxWork)
 			if _, err := netif.VhostWriteRx(pk); err != nil {
 				panic("workload: " + err.Error())
 			}
@@ -248,7 +250,9 @@ func tcprrKVM(h hyp.Hypervisor, prm Params) TCPRRResult {
 			if err != nil {
 				panic("workload: " + err.Error())
 			}
-			p.Sleep(f.us(prm.VhostTx + prm.HostStackSend))
+			txWork := f.us(prm.VhostTx + prm.HostStackSend)
+			f.m.Rec.ChargeCycles(p, "vhost tx + host stack", int64(txWork))
+			p.Sleep(txWork)
 			pk.SetStamp("send", int64(p.Now()))
 			f.down.Send(pk)
 		}
