@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench report-diff prof-determinism bench-smoke ci
+.PHONY: all build test race vet fmt-check bench report-diff prof-determinism bench-smoke serve-smoke ci
 
 all: build test
 
@@ -40,4 +40,27 @@ prof-determinism:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim
 
-ci: fmt-check vet build race report-diff prof-determinism bench-smoke
+# serve-smoke boots the armvirt-serve daemon, waits for /healthz, then
+# checks the cache-correctness contract end to end: a cold (fresh-run)
+# response, a warm (cache-hit) response, and armvirt-report -json output
+# must be byte-identical, and /metrics must report the hit. SIGTERM must
+# drain and exit 0.
+serve-smoke:
+	$(GO) build -o /tmp/armvirt-serve ./cmd/armvirt-serve
+	$(GO) build -o /tmp/armvirt-report ./cmd/armvirt-report
+	@set -e; \
+	/tmp/armvirt-serve -addr 127.0.0.1:18080 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -fsS http://127.0.0.1:18080/healthz >/dev/null; \
+	curl -fsS "http://127.0.0.1:18080/v1/experiments/T2?format=json" > /tmp/serve-cold.json; \
+	curl -fsS "http://127.0.0.1:18080/v1/experiments/T2?format=json" > /tmp/serve-warm.json; \
+	diff -u /tmp/serve-cold.json /tmp/serve-warm.json; \
+	/tmp/armvirt-report -only T2 -json > /tmp/serve-direct.json; \
+	diff -u /tmp/serve-cold.json /tmp/serve-direct.json; \
+	curl -fsS "http://127.0.0.1:18080/v1/profile/kvm-arm/hypercall?format=folded" >/dev/null; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_cache_hits_total 1'; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; graceful drain)"
+
+ci: fmt-check vet build race report-diff prof-determinism bench-smoke serve-smoke

@@ -9,7 +9,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,13 +34,7 @@ func main() {
 	}
 
 	if *asJSON {
-		out := make([][]bench.Row, len(results))
-		for i, r := range results {
-			out[i] = r.Rows()
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := bench.WriteRowsJSON(os.Stdout, results...); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

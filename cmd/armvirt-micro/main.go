@@ -8,7 +8,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,16 +40,7 @@ func main() {
 	}
 
 	if *asJSON {
-		out := struct {
-			TableII  []bench.Row `json:"tableII"`
-			TableIII []bench.Row `json:"tableIII,omitempty"`
-		}{TableII: results[0].Rows()}
-		if *breakdown {
-			out.TableIII = results[1].Rows()
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := bench.WriteRowsJSON(os.Stdout, results...); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -9,13 +9,13 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
 
+	"armvirt/internal/bench"
 	"armvirt/internal/core"
 )
 
@@ -56,9 +56,7 @@ func emit(reports []core.Report, md, asJSON bool) {
 				failed = true
 			}
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
+		if err := bench.WriteJSON(os.Stdout, reports); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

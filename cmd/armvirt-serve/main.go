@@ -1,0 +1,74 @@
+// Command armvirt-serve exposes the measurement study over HTTP as a
+// long-running daemon: the experiment registry, cached deterministic
+// results, the span profiler's per-phase breakdowns, and live Prometheus
+// metrics.
+//
+//	armvirt-serve -addr :8080
+//	curl localhost:8080/v1/experiments
+//	curl "localhost:8080/v1/experiments/T2?format=json"
+//	curl localhost:8080/v1/profile/kvm-arm/hypercall?format=folded
+//	curl localhost:8080/metrics
+//
+// Results are served from a content-addressed LRU cache (experiments are
+// deterministic, so a hit is byte-identical to a fresh run); cold
+// requests go through admission control — a bounded worker pool and wait
+// queue, shedding excess load with 429. SIGINT/SIGTERM trigger graceful
+// shutdown: stop accepting, drain in-flight runs, then exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"armvirt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB")
+	workers := flag.Int("workers", runtime.NumCPU(), "max concurrent engine runs")
+	queue := flag.Int("queue", 64, "max requests waiting for a worker before 429")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request admission timeout")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight connections")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheBytes: *cacheMB << 20,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "armvirt-serve: listening on %s (study %s, %d workers, queue %d, cache %d MiB)\n",
+		*addr, srv.StudyHash(), *workers, *queue, *cacheMB)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "armvirt-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "armvirt-serve: shutting down, draining in-flight runs")
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "armvirt-serve: shutdown: %v\n", err)
+	}
+	srv.Drain()
+	fmt.Fprintln(os.Stderr, "armvirt-serve: drained, exiting")
+}

@@ -55,22 +55,6 @@ func TestRunAllPreservesRegistryOrder(t *testing.T) {
 	}
 }
 
-func TestRunOneRecoversPanic(t *testing.T) {
-	rep := RunOne(Experiment{
-		ID:    "BOOM",
-		Title: "always panics",
-		Run:   func() Result { panic("kaboom") },
-	})
-	if rep.Err == nil {
-		t.Fatal("expected an error from a panicking experiment")
-	}
-	for _, frag := range []string{"BOOM", "kaboom"} {
-		if !strings.Contains(rep.Err.Error(), frag) {
-			t.Errorf("error %q does not mention %q", rep.Err, frag)
-		}
-	}
-}
-
 func TestRunAllCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull means the bounded wait queue was already at depth
+	// (HTTP 429: retryable load shedding).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining means the server is shutting down and admits no new
+	// runs (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// AdmissionStats is a point-in-time snapshot of admission counters.
+type AdmissionStats struct {
+	Workers, QueueDepth                int
+	Queued, Running                    int64
+	Runs, RejectedQueue, RejectedDrain int64
+}
+
+// Admission bounds the engine work a server will take on: at most
+// `workers` experiment runs execute concurrently (each run builds its own
+// platforms and simulation engines, the PR-2 isolation model, so bounding
+// runs bounds memory and CPU), at most `queue` further callers wait for a
+// slot, and anything beyond that is shed immediately with ErrQueueFull
+// rather than queued without bound. Waiting is context-aware, so a
+// per-request timeout caps time-to-slot; a run that has started is never
+// cancelled (the engine has no preemption point), which keeps every
+// completed run cacheable.
+type Admission struct {
+	slots    chan struct{}
+	maxQueue int64
+
+	queued  atomic.Int64
+	running atomic.Int64
+
+	runs          atomic.Int64
+	rejectedQueue atomic.Int64
+	rejectedDrain atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewAdmission returns a controller with the given worker and wait-queue
+// bounds (minimums of 1 worker, 0 queue are enforced).
+func NewAdmission(workers, queue int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{slots: make(chan struct{}, workers), maxQueue: int64(queue)}
+}
+
+// Do runs fn under the admission bounds. It returns ErrDraining after
+// Drain has begun, ErrQueueFull when the wait queue is at depth, and the
+// context error if ctx ends before a worker slot frees up.
+func (a *Admission) Do(ctx context.Context, fn func() ([]byte, error)) ([]byte, error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		a.rejectedDrain.Add(1)
+		return nil, ErrDraining
+	}
+	a.wg.Add(1)
+	a.mu.Unlock()
+	defer a.wg.Done()
+
+	// Fast path: a free worker slot means no queueing at all. Only
+	// callers that actually have to wait count against the queue bound.
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		if q := a.queued.Add(1); q > a.maxQueue {
+			a.queued.Add(-1)
+			a.rejectedQueue.Add(1)
+			return nil, ErrQueueFull
+		}
+		select {
+		case a.slots <- struct{}{}:
+			a.queued.Add(-1)
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	defer func() { <-a.slots }()
+
+	a.runs.Add(1)
+	a.running.Add(1)
+	defer a.running.Add(-1)
+	return fn()
+}
+
+// Drain stops admitting new runs and blocks until every admitted run has
+// finished, including callers still waiting for a slot (they complete or
+// time out on their own contexts).
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+// Stats returns a snapshot of the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Workers:       cap(a.slots),
+		QueueDepth:    int(a.maxQueue),
+		Queued:        a.queued.Load(),
+		Running:       a.running.Load(),
+		Runs:          a.runs.Load(),
+		RejectedQueue: a.rejectedQueue.Load(),
+		RejectedDrain: a.rejectedDrain.Load(),
+	}
+}

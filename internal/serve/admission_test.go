@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBounds: with 1 worker and a queue of 1, a third
+// concurrent caller is shed with ErrQueueFull instead of queued.
+func TestAdmissionBounds(t *testing.T) {
+	a := NewAdmission(1, 1)
+	release := make(chan struct{})
+	running := make(chan struct{}, 4)
+	blocked := func() ([]byte, error) {
+		running <- struct{}{}
+		<-release
+		return []byte("done"), nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(1)
+	go func() { // occupies the worker slot
+		defer wg.Done()
+		_, err := a.Do(context.Background(), blocked)
+		errs <- err
+	}()
+	<-running
+
+	wg.Add(1)
+	go func() { // waits in the queue
+		defer wg.Done()
+		_, err := a.Do(context.Background(), blocked)
+		errs <- err
+	}()
+	for a.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third caller: worker busy, queue full -> immediate shed.
+	if _, err := a.Do(context.Background(), blocked); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third caller: %v, want ErrQueueFull", err)
+	}
+	if st := a.Stats(); st.RejectedQueue != 1 || st.Running != 1 {
+		t.Fatalf("stats after shed: %+v", st)
+	}
+
+	close(release)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("admitted run %d failed: %v", i, err)
+		}
+	}
+	if st := a.Stats(); st.Runs != 2 || st.Queued != 0 || st.Running != 0 {
+		t.Errorf("final stats: %+v", st)
+	}
+}
+
+// TestAdmissionWaitTimeout: a queued caller gives up when its context
+// expires, without ever running fn.
+func TestAdmissionWaitTimeout(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	go a.Do(context.Background(), func() ([]byte, error) {
+		close(running)
+		<-release
+		return nil, nil
+	})
+	<-running
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := a.Do(ctx, func() ([]byte, error) {
+		t.Error("timed-out caller must not run")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestAdmissionDrain: drain rejects new work, waits for the in-flight
+// run, then returns.
+func TestAdmissionDrain(t *testing.T) {
+	a := NewAdmission(2, 2)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Do(context.Background(), func() ([]byte, error) {
+			close(running)
+			<-release
+			return nil, nil
+		})
+		done <- err
+	}()
+	<-running
+
+	drained := make(chan struct{})
+	go func() {
+		a.Drain()
+		close(drained)
+	}()
+	// New work is rejected as soon as the drain begins.
+	for {
+		_, err := a.Do(context.Background(), func() ([]byte, error) { return nil, nil })
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a run was still in flight")
+	default:
+	}
+
+	close(release)
+	<-drained
+	if err := <-done; err != nil {
+		t.Errorf("in-flight run during drain: %v", err)
+	}
+	if st := a.Stats(); st.RejectedDrain == 0 {
+		t.Errorf("draining rejections not counted: %+v", st)
+	}
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Outcome classifies how a Cache lookup was satisfied.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// Hit means the bytes were already resident.
+	Hit Outcome = iota
+	// Miss means this caller ran the compute function (the singleflight
+	// leader).
+	Miss
+	// Shared means the caller attached to a computation another request
+	// had already started and received the leader's bytes.
+	Shared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Shared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits, Misses, Shared, Evictions int64
+	Entries                         int
+	Bytes, MaxBytes                 int64
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests attach to.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// centry is one resident cache value.
+type centry struct {
+	key string
+	val []byte
+}
+
+// Cache is a content-addressed, byte-bounded, LRU-evicting result cache
+// with singleflight deduplication. Keys name everything that determines
+// the bytes — experiment ID, the study content hash, the output format —
+// so because experiment runs are deterministic, a hit is byte-identical
+// to a fresh run by construction and an entry never needs invalidation
+// within a process lifetime.
+//
+// Concurrent GetOrCompute calls for the same key collapse into a single
+// compute invocation: one caller (the leader) runs it, the rest wait on
+// the leader's result or their own context. Errors are never cached, so
+// a failed or timed-out run is retried by the next request. Values
+// larger than the byte budget are returned to the caller but not stored.
+type Cache struct {
+	mu       sync.Mutex
+	max      int64
+	cur      int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+
+	hits, misses, shared, evictions int64
+}
+
+// NewCache returns a cache bounded to maxBytes of stored values
+// (values <= 0 disable storage entirely; singleflight still applies).
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		max:      maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// GetOrCompute returns the bytes for key, running compute on a miss.
+// The returned Outcome reports whether the bytes were resident (Hit),
+// computed by this call (Miss), or received from a concurrent leader
+// (Shared). A waiter whose context ends before the leader finishes
+// returns the context error; the leader itself always runs compute to
+// completion so an engine run is never abandoned half-way.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*centry).val
+		c.hits++
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, Shared, f.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// A panicking compute must still wake the waiters and release the
+	// flight, or every later request for this key would hang; it
+	// surfaces as an error (never cached), not a crash.
+	f.val, f.err = func() (val []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: compute panicked: %v", r)
+			}
+		}()
+		return compute()
+	}()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.store(key, f.val)
+	}
+	c.mu.Unlock()
+	return f.val, Miss, f.err
+}
+
+// store inserts val under key and evicts least-recently-used entries
+// until the byte budget holds again. Called with mu held.
+func (c *Cache) store(key string, val []byte) {
+	size := int64(len(val))
+	if size > c.max {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A racing leader for the same key already stored it; keep the
+		// resident copy (byte-identical by determinism) and its LRU slot.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&centry{key: key, val: val})
+	c.cur += size
+	for c.cur > c.max {
+		back := c.ll.Back()
+		e := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.cur -= int64(len(e.val))
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Shared: c.shared, Evictions: c.evictions,
+		Entries: len(c.items), Bytes: c.cur, MaxBytes: c.max,
+	}
+}

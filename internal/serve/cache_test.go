@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fill returns a compute function producing size bytes and counting its
+// invocations.
+func fill(size int, calls *atomic.Int64) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		calls.Add(1)
+		return bytes.Repeat([]byte{'x'}, size), nil
+	}
+}
+
+func mustGet(t *testing.T, c *Cache, key string, compute func() ([]byte, error)) ([]byte, Outcome) {
+	t.Helper()
+	val, outcome, err := c.GetOrCompute(context.Background(), key, compute)
+	if err != nil {
+		t.Fatalf("GetOrCompute(%q): %v", key, err)
+	}
+	return val, outcome
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	var calls atomic.Int64
+
+	mustGet(t, c, "a", fill(40, &calls)) // resident: a(40)
+	mustGet(t, c, "b", fill(40, &calls)) // resident: b, a
+	if _, outcome := mustGet(t, c, "a", fill(40, &calls)); outcome != Hit {
+		t.Fatalf("warm a = %v, want Hit", outcome)
+	}
+	// c pushes the budget to 120 > 100; b is least recently used.
+	mustGet(t, c, "c", fill(40, &calls))
+	if _, outcome := mustGet(t, c, "a", fill(40, &calls)); outcome != Hit {
+		t.Errorf("a evicted despite being recently used")
+	}
+	if _, outcome := mustGet(t, c, "b", fill(40, &calls)); outcome != Miss {
+		t.Errorf("b still resident, want LRU-evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 2 { // b under the budget, then c when b returned
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Bytes > 100 {
+		t.Errorf("resident bytes %d exceed budget 100", st.Bytes)
+	}
+	if calls.Load() != 4 { // a, b, c fresh + b recomputed
+		t.Errorf("computes = %d, want 4", calls.Load())
+	}
+}
+
+func TestCacheOversizedValueNotStored(t *testing.T) {
+	c := NewCache(10)
+	var calls atomic.Int64
+	val, outcome := mustGet(t, c, "big", fill(1000, &calls))
+	if len(val) != 1000 || outcome != Miss {
+		t.Fatalf("oversized compute: len=%d outcome=%v", len(val), outcome)
+	}
+	if _, outcome := mustGet(t, c, "big", fill(1000, &calls)); outcome != Miss {
+		t.Errorf("oversized value was cached, outcome %v", outcome)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversized value resident: %+v", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(1 << 20)
+	boom := errors.New("boom")
+	fail := true
+	compute := func() ([]byte, error) {
+		if fail {
+			return nil, boom
+		}
+		return []byte("ok"), nil
+	}
+	if _, _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	fail = false
+	val, outcome := mustGet(t, c, "k", compute)
+	if string(val) != "ok" || outcome != Miss {
+		t.Fatalf("retry after error: val=%q outcome=%v", val, outcome)
+	}
+	if _, outcome := mustGet(t, c, "k", compute); outcome != Hit {
+		t.Errorf("successful value not cached after an earlier error")
+	}
+}
+
+func TestCachePanicBecomesErrorAndReleasesFlight(t *testing.T) {
+	c := NewCache(1 << 20)
+	_, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		panic("compute exploded")
+	})
+	if err == nil || !strings.Contains(err.Error(), "compute exploded") {
+		t.Fatalf("err = %v, want the panic surfaced", err)
+	}
+	// The flight must be released so the key stays usable.
+	val, outcome := mustGet(t, c, "k", func() ([]byte, error) { return []byte("fine"), nil })
+	if string(val) != "fine" || outcome != Miss {
+		t.Fatalf("after panic: val=%q outcome=%v", val, outcome)
+	}
+}
+
+// TestCacheSingleflight collapses 32 concurrent identical requests into
+// exactly one compute: one Miss leader, 31 Shared followers, all with
+// the leader's bytes.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return []byte("result"), nil
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	vals := make([][]byte, n)
+	errs := make([]error, n)
+	started := make(chan struct{})
+	var once sync.Once
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			once.Do(func() { close(started) })
+			vals[i], outcomes[i], errs[i] = c.GetOrCompute(context.Background(), "k", compute)
+		}()
+	}
+	<-started
+	// Let the followers pile onto the in-flight leader, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("computes = %d, want exactly 1", calls.Load())
+	}
+	var misses, shared, hits int
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if string(vals[i]) != "result" {
+			t.Fatalf("request %d got %q", i, vals[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			misses++
+		case Shared:
+			shared++
+		case Hit:
+			hits++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 leader", misses)
+	}
+	if shared+hits != n-1 {
+		t.Errorf("shared=%d hits=%d, want %d followers", shared, hits, n-1)
+	}
+}
+
+// TestCacheWaiterTimeout: a follower whose context expires abandons the
+// wait; the leader still completes and caches.
+func TestCacheWaiterTimeout(t *testing.T) {
+	c := NewCache(1 << 20)
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			<-release
+			return []byte("slow"), nil
+		})
+		leaderDone <- err
+	}()
+	// Wait until the leader's flight is registered.
+	for {
+		if c.Stats().Misses == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, outcome, err := c.GetOrCompute(ctx, "k", func() ([]byte, error) {
+		t.Error("follower must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || outcome != Shared {
+		t.Fatalf("follower: outcome=%v err=%v, want Shared + deadline", outcome, err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	val, outcome := mustGet(t, c, "k", func() ([]byte, error) {
+		return nil, fmt.Errorf("must be cached")
+	})
+	if string(val) != "slow" || outcome != Hit {
+		t.Fatalf("after leader finished: val=%q outcome=%v", val, outcome)
+	}
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/core"
+	"armvirt/internal/micro"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// instrumentation middleware can count it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
+	return sr.ResponseWriter.Write(b)
+}
+
+// instrument wraps one route: panic recovery (500, counted separately)
+// plus per-endpoint request counting and latency observation.
+func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.RecordPanic()
+				if !sr.wrote {
+					http.Error(sr, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+				}
+				s.met.Record(endpoint, http.StatusInternalServerError, time.Since(start))
+				return
+			}
+			s.met.Record(endpoint, sr.status, time.Since(start))
+		}()
+		fn(sr, r)
+	})
+}
+
+// instrumentMux routes through the mux; requests matching no route are
+// answered by the mux's own 404/405 handler and counted as "other".
+func (s *Server) instrumentMux() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, pattern := s.mux.Handler(r)
+		if pattern == "" {
+			start := time.Now()
+			sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			h.ServeHTTP(sr, r)
+			s.met.Record("other", sr.status, time.Since(start))
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// pickFormat validates the request's ?format= against the allowed set,
+// defaulting to allowed[0]. On a bad value it writes 400 and returns
+// ok=false.
+func pickFormat(w http.ResponseWriter, r *http.Request, allowed ...string) (string, bool) {
+	f := r.URL.Query().Get("format")
+	if f == "" {
+		return allowed[0], true
+	}
+	if slices.Contains(allowed, f) {
+		return f, true
+	}
+	http.Error(w, fmt.Sprintf("unknown format %q (choose one of %s)", f, strings.Join(allowed, ", ")),
+		http.StatusBadRequest)
+	return "", false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w, s.cache.Stats(), s.adm.Stats())
+}
+
+// handleExperiments lists the registry in order — no engine runs, so no
+// cache or admission involved.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	format, ok := pickFormat(w, r, "text", "json")
+	if !ok {
+		return
+	}
+	exps := core.Experiments()
+	if format == "json" {
+		type expInfo struct {
+			ID    string `json:"id"`
+			Title string `json:"title"`
+			Kind  string `json:"kind"`
+		}
+		out := make([]expInfo, len(exps))
+		for i, e := range exps {
+			out[i] = expInfo{ID: e.ID, Title: e.Title, Kind: e.Kind.String()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		bench.WriteJSON(w, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, e := range exps {
+		fmt.Fprintf(w, "%-4s %-14s %s\n", e.ID, e.Kind, e.Title)
+	}
+}
+
+// handleExperiment runs (or fetches from cache) one experiment. The JSON
+// rendering is byte-identical to `armvirt-report -only <id> -json`: both
+// funnel through bench.WriteJSON on a one-element []core.Report.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := core.ByID(id)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown experiment %q (GET /v1/experiments for the list)", id),
+			http.StatusNotFound)
+		return
+	}
+	format, ok := pickFormat(w, r, "text", "json", "rows")
+	if !ok {
+		return
+	}
+	key := fmt.Sprintf("exp\x00%s\x00%s\x00%s", e.ID, s.hash, format)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	val, outcome, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		return s.adm.Do(ctx, func() ([]byte, error) {
+			return renderExperiment(s.runOne, *e, format)
+		})
+	})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	if format == "json" || format == "rows" {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	s.writeCached(w, val, outcome)
+}
+
+// renderExperiment executes one experiment and renders it in the given
+// format: the paper-layout text, the full armvirt-report JSON shape
+// (identity + rows + text), or just the machine-readable rows. run is
+// core.RunOne in production, so a panicking experiment comes back as an
+// error (-> 500), never a crashed worker.
+func renderExperiment(run func(core.Experiment) core.Report, e core.Experiment, format string) ([]byte, error) {
+	rep := run(e)
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	var buf bytes.Buffer
+	switch format {
+	case "json":
+		if err := bench.WriteJSON(&buf, []core.Report{rep}); err != nil {
+			return nil, err
+		}
+	case "rows":
+		if err := bench.WriteRowsJSON(&buf, rep.Result); err != nil {
+			return nil, err
+		}
+	default:
+		buf.WriteString(rep.Result.Render())
+	}
+	return buf.Bytes(), nil
+}
+
+// handleProfile serves the span profiler's per-phase cycle attribution
+// for one (platform, op) pair, in breakdown-table, collapsed-stack, or
+// gzipped-pprof form — the armvirt-prof outputs over HTTP.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	slug := r.PathValue("platform")
+	label, ok := s.platformBySlug[slug]
+	if !ok {
+		slugs := make([]string, 0, len(s.platformBySlug))
+		for k := range s.platformBySlug {
+			slugs = append(slugs, k)
+		}
+		sort.Strings(slugs)
+		http.Error(w, fmt.Sprintf("unknown platform %q (choose one of %s)", slug, strings.Join(slugs, ", ")),
+			http.StatusNotFound)
+		return
+	}
+	op := r.PathValue("op")
+	if !slices.Contains(micro.TracedOps, op) {
+		http.Error(w, fmt.Sprintf("unknown op %q (choose one of %s)", op, strings.Join(micro.TracedOps, ", ")),
+			http.StatusNotFound)
+		return
+	}
+	format, ok := pickFormat(w, r, "table", "folded", "pprof")
+	if !ok {
+		return
+	}
+	key := fmt.Sprintf("prof\x00%s\x00%s\x00%s\x00%s", label, op, s.hash, format)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	val, outcome, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+		return s.adm.Do(ctx, func() ([]byte, error) {
+			return renderProfile(label, op, format)
+		})
+	})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	if format == "pprof" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", slug+"-"+op+".pb.gz"))
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	s.writeCached(w, val, outcome)
+}
+
+// renderProfile profiles one (platform, op) unit and renders it.
+func renderProfile(label, op, format string) ([]byte, error) {
+	res := bench.RunPhaseBreakdowns([]string{label}, []string{op}, 1)
+	switch format {
+	case "folded":
+		return []byte(res.Folded()), nil
+	case "pprof":
+		var buf bytes.Buffer
+		if err := res.WritePprof(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return []byte(res.Render()), nil
+}
+
+// writeCached emits a cacheable payload with its lookup outcome and the
+// study hash, so clients and the smoke test can tell hits from runs.
+func (s *Server) writeCached(w http.ResponseWriter, val []byte, outcome Outcome) {
+	w.Header().Set("X-Cache", outcome.String())
+	w.Header().Set("X-Armvirt-Study-Hash", s.hash)
+	w.Write(val)
+}
+
+// writeRunError maps run-path errors to HTTP statuses: load shedding is
+// retryable (429 with Retry-After), drain and timeout are 503, anything
+// else — including a recovered experiment panic — is 500.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "timed out waiting for the experiment run: "+err.Error(),
+			http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"armvirt/internal/stats"
+)
+
+// Metrics aggregates per-endpoint request counters and latency
+// distributions. Latencies go into the same log2-bucketed
+// stats.Histogram the study's own instrumentation uses, so /metrics
+// quantiles carry that histogram's documented semantics: bucket-bounded
+// estimates, at most a factor of two above the true quantile.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	latency  map[string]*stats.Histogram // endpoint -> microseconds
+	panics   int64
+}
+
+// reqKey locates one request counter.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[reqKey]int64),
+		latency:  make(map[string]*stats.Histogram),
+	}
+}
+
+// Record counts one request against (endpoint, status) and observes its
+// latency.
+func (m *Metrics) Record(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, status}]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = stats.NewHistogram()
+		m.latency[endpoint] = h
+	}
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// RecordPanic counts one handler panic (always reported as a 500 by the
+// recovery middleware, which also calls Record).
+func (m *Metrics) RecordPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// latencyQuantiles are the quantiles exported per endpoint.
+var latencyQuantiles = []float64{0.50, 0.95, 0.99}
+
+// WritePrometheus renders every counter and gauge in Prometheus text
+// exposition format. Lines are emitted in sorted label order so
+// consecutive scrapes of an idle server are byte-identical.
+func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b []byte
+	p := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+
+	p("# HELP armvirt_requests_total HTTP requests by endpoint and status code.\n")
+	p("# TYPE armvirt_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		p("armvirt_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	p("# HELP armvirt_handler_panics_total Handler panics recovered by the middleware.\n")
+	p("# TYPE armvirt_handler_panics_total counter\n")
+	p("armvirt_handler_panics_total %d\n", m.panics)
+
+	p("# HELP armvirt_cache_hits_total Result cache hits.\n")
+	p("# TYPE armvirt_cache_hits_total counter\n")
+	p("armvirt_cache_hits_total %d\n", cs.Hits)
+	p("# HELP armvirt_cache_misses_total Result cache misses (each one compute).\n")
+	p("# TYPE armvirt_cache_misses_total counter\n")
+	p("armvirt_cache_misses_total %d\n", cs.Misses)
+	p("# HELP armvirt_cache_shared_total Requests collapsed onto an in-flight computation.\n")
+	p("# TYPE armvirt_cache_shared_total counter\n")
+	p("armvirt_cache_shared_total %d\n", cs.Shared)
+	p("# HELP armvirt_cache_evictions_total LRU evictions under the byte budget.\n")
+	p("# TYPE armvirt_cache_evictions_total counter\n")
+	p("armvirt_cache_evictions_total %d\n", cs.Evictions)
+	p("# HELP armvirt_cache_entries Resident cache entries.\n")
+	p("# TYPE armvirt_cache_entries gauge\n")
+	p("armvirt_cache_entries %d\n", cs.Entries)
+	p("# HELP armvirt_cache_bytes Resident cache bytes (budget armvirt_cache_max_bytes).\n")
+	p("# TYPE armvirt_cache_bytes gauge\n")
+	p("armvirt_cache_bytes %d\n", cs.Bytes)
+	p("# HELP armvirt_cache_max_bytes Configured cache byte budget.\n")
+	p("# TYPE armvirt_cache_max_bytes gauge\n")
+	p("armvirt_cache_max_bytes %d\n", cs.MaxBytes)
+
+	p("# HELP armvirt_engine_runs_total Experiment/profile engine runs admitted.\n")
+	p("# TYPE armvirt_engine_runs_total counter\n")
+	p("armvirt_engine_runs_total %d\n", as.Runs)
+	p("# HELP armvirt_admission_rejected_total Requests shed by admission control.\n")
+	p("# TYPE armvirt_admission_rejected_total counter\n")
+	p("armvirt_admission_rejected_total{reason=\"draining\"} %d\n", as.RejectedDrain)
+	p("armvirt_admission_rejected_total{reason=\"queue_full\"} %d\n", as.RejectedQueue)
+	p("# HELP armvirt_admission_queue_depth Callers waiting for a worker slot.\n")
+	p("# TYPE armvirt_admission_queue_depth gauge\n")
+	p("armvirt_admission_queue_depth %d\n", as.Queued)
+	p("# HELP armvirt_admission_running Engine runs currently executing.\n")
+	p("# TYPE armvirt_admission_running gauge\n")
+	p("armvirt_admission_running %d\n", as.Running)
+	p("# HELP armvirt_admission_workers Configured worker-slot bound.\n")
+	p("# TYPE armvirt_admission_workers gauge\n")
+	p("armvirt_admission_workers %d\n", as.Workers)
+
+	p("# HELP armvirt_request_latency_us Request latency in microseconds (log2-bucket quantile estimates).\n")
+	p("# TYPE armvirt_request_latency_us summary\n")
+	eps := make([]string, 0, len(m.latency))
+	for ep := range m.latency {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		h := m.latency[ep]
+		for _, q := range latencyQuantiles {
+			p("armvirt_request_latency_us{endpoint=%q,quantile=\"%g\"} %.0f\n", ep, q, h.Quantile(q))
+		}
+		p("armvirt_request_latency_us_sum{endpoint=%q} %d\n", ep, h.Sum())
+		p("armvirt_request_latency_us_count{endpoint=%q} %d\n", ep, h.N())
+	}
+
+	_, err := w.Write(b)
+	return err
+}

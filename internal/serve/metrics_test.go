@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsPrometheusRendering(t *testing.T) {
+	m := NewMetrics()
+	m.Record("experiment", 200, 1500*time.Microsecond)
+	m.Record("experiment", 200, 2500*time.Microsecond)
+	m.Record("experiment", 429, 10*time.Microsecond)
+	m.Record("healthz", 200, 5*time.Microsecond)
+	m.RecordPanic()
+
+	cs := CacheStats{Hits: 7, Misses: 3, Shared: 2, Evictions: 1, Entries: 2, Bytes: 512, MaxBytes: 1024}
+	as := AdmissionStats{Workers: 4, QueueDepth: 8, Queued: 1, Running: 2,
+		Runs: 3, RejectedQueue: 5, RejectedDrain: 6}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf, cs, as); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`armvirt_requests_total{endpoint="experiment",code="200"} 2`,
+		`armvirt_requests_total{endpoint="experiment",code="429"} 1`,
+		`armvirt_requests_total{endpoint="healthz",code="200"} 1`,
+		"armvirt_handler_panics_total 1",
+		"armvirt_cache_hits_total 7",
+		"armvirt_cache_misses_total 3",
+		"armvirt_cache_shared_total 2",
+		"armvirt_cache_evictions_total 1",
+		"armvirt_cache_entries 2",
+		"armvirt_cache_bytes 512",
+		"armvirt_cache_max_bytes 1024",
+		"armvirt_engine_runs_total 3",
+		`armvirt_admission_rejected_total{reason="queue_full"} 5`,
+		`armvirt_admission_rejected_total{reason="draining"} 6`,
+		"armvirt_admission_queue_depth 1",
+		"armvirt_admission_running 2",
+		"armvirt_admission_workers 4",
+		`armvirt_request_latency_us{endpoint="experiment",quantile="0.5"}`,
+		`armvirt_request_latency_us{endpoint="experiment",quantile="0.95"}`,
+		`armvirt_request_latency_us{endpoint="experiment",quantile="0.99"}`,
+		`armvirt_request_latency_us_sum{endpoint="experiment"} 4010`,
+		`armvirt_request_latency_us_count{endpoint="experiment"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// Every armvirt_* family is declared before use.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "armvirt_") {
+			name := line[:strings.IndexAny(line, "{ ")]
+			base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+			if !strings.Contains(out, "# TYPE "+base+" ") {
+				t.Errorf("metric %s has no TYPE declaration", name)
+			}
+		}
+	}
+
+	// A second render with no new observations is byte-identical, so
+	// consecutive scrapes diff clean.
+	var again bytes.Buffer
+	if err := m.WritePrometheus(&again, cs, as); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("consecutive scrapes differ")
+	}
+}

@@ -1,0 +1,161 @@
+// Package serve puts the measurement study on the serving path: a
+// long-running HTTP front end over the experiment registry
+// (internal/core), the structured results (internal/bench), and the span
+// profiler (internal/micro + internal/obs). The paper studies hypervisors
+// under I/O-heavy serving workloads (Apache, memcached — §V); this
+// package gives the reproduction itself that shape, a daemon that serves
+// experiment results under concurrent load instead of a one-shot CLI.
+//
+// Three properties structure the design:
+//
+//   - Determinism makes results perfectly cacheable. Every experiment
+//     builds private platforms and produces byte-identical output on
+//     every run, so a content-addressed cache entry — keyed by
+//     experiment ID, the study hash (registry identity + per-platform
+//     hardware cost models), and output format — never goes stale within
+//     a process and a hit is indistinguishable from a fresh run.
+//
+//   - Runs are expensive and non-preemptible, so admission control sits
+//     in front of the engines: a bounded worker pool (engine-per-run
+//     isolation), a bounded wait queue with 429 shedding beyond it,
+//     per-request timeouts on time-to-slot, and drain-before-exit.
+//     Concurrent identical requests collapse to one run (singleflight)
+//     before they ever reach admission.
+//
+//   - Everything is observable: request counters, cache hit/miss/shared/
+//     eviction counters, queue depth, and latency quantiles from the
+//     same log2 histograms the study's instrumentation uses, exported in
+//     Prometheus text format at /metrics.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/core"
+	"armvirt/internal/obs"
+)
+
+// Config sizes the server; zero values pick the documented defaults.
+type Config struct {
+	// CacheBytes bounds resident cached result bytes (default 64 MiB).
+	CacheBytes int64
+	// Workers bounds concurrent engine runs (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds callers waiting for a worker slot; beyond it
+	// requests get 429 (default 64).
+	QueueDepth int
+	// Timeout caps one request's wait for a slot or for an in-flight
+	// identical run (default 60s). A run that has started always
+	// completes and is cached for the next request.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP experiment service. Build one with New, mount
+// Handler on an http.Server, and call Drain before exiting.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	adm   *Admission
+	met   *Metrics
+	hash  string
+	mux   *http.ServeMux
+
+	// runOne executes one experiment; tests substitute it to model slow
+	// or failing runs without touching the registry.
+	runOne func(core.Experiment) core.Report
+
+	// platformBySlug maps URL path slugs ("kvm-arm") back to the
+	// platform labels ("KVM ARM") the bench layer uses.
+	platformBySlug map[string]string
+}
+
+// New builds a server from cfg (zero-value fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:            cfg,
+		cache:          NewCache(cfg.CacheBytes),
+		adm:            NewAdmission(cfg.Workers, cfg.QueueDepth),
+		met:            NewMetrics(),
+		hash:           studyHash(),
+		runOne:         core.RunOne,
+		platformBySlug: make(map[string]string),
+	}
+	for label := range bench.Factories() {
+		s.platformBySlug[obs.Slug(label)] = label
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
+	s.mux.Handle("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
+	s.mux.Handle("GET /v1/profile/{platform}/{op}", s.instrument("profile", s.handleProfile))
+	return s
+}
+
+// Handler returns the server's HTTP handler (instrumented routes plus a
+// counted 404 fallback).
+func (s *Server) Handler() http.Handler {
+	return s.instrumentMux()
+}
+
+// Drain stops admitting new engine runs and blocks until the admitted
+// ones finish. Call after http.Server.Shutdown so in-flight handlers
+// observe their runs completing; requests arriving mid-drain get 503.
+func (s *Server) Drain() {
+	s.adm.Drain()
+}
+
+// StudyHash is the content hash cache keys embed: the experiment
+// registry identity plus every platform's hardware cost model. Exposed
+// in the X-Armvirt-Study-Hash response header so clients can correlate
+// cached bytes with a study configuration.
+func (s *Server) StudyHash() string {
+	return s.hash
+}
+
+// studyHash digests everything that determines experiment output at
+// serve time: the registry (IDs, titles, kinds, in order) and each
+// platform's hardware cost model. Software costs are compiled into the
+// hypervisor implementations and cannot change within a process, so a
+// process-lifetime in-memory cache needs no more than this.
+func studyHash() string {
+	h := sha256.New()
+	for _, e := range core.Experiments() {
+		fmt.Fprintf(h, "exp\x00%s\x00%s\x00%d\n", e.ID, e.Title, e.Kind)
+	}
+	f := bench.Factories()
+	labels := make([]string, 0, len(f))
+	for label := range f {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		m := f[label]().Machine()
+		fmt.Fprintf(h, "cost\x00%s\x00%+v\n", label, *m.Cost)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -137,6 +137,14 @@ func (h *Histogram) HMean() float64 {
 
 // Quantile returns the approximate q-quantile (0 <= q <= 1), linearly
 // interpolated within the containing bucket and clamped to [min, max].
+// These are bucket-bounded estimates, not exact order statistics: the
+// log2 buckets only record which power-of-two range an observation fell
+// in, so the returned value can land anywhere within the containing
+// bucket — never above its upper bound, which makes the estimate at
+// worst a factor-of-two overestimate of the true quantile (and
+// symmetrically at most 2x below it). p50/p95/p99 reported from these
+// histograms (armvirt-stat, the serve /metrics endpoint) carry that
+// error bar; N, Sum, HMin, HMax and HMean stay exact.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || h.n == 0 {
 		return 0
