@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench report-diff prof-determinism bench-smoke serve-smoke ci
+.PHONY: all build test race vet lint fmt-check bench report-diff prof-determinism bench-smoke serve-smoke ci
 
 all: build test
 
@@ -15,6 +15,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus armvirt-vet, the repo's own analyzer suite
+# (determinism and instrumentation invariants; see DESIGN.md §9).
+lint: vet
+	$(GO) build -o /tmp/armvirt-vet ./cmd/armvirt-vet
+	/tmp/armvirt-vet ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -63,4 +69,4 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; graceful drain)"
 
-ci: fmt-check vet build race report-diff prof-determinism bench-smoke serve-smoke
+ci: fmt-check lint build race report-diff prof-determinism bench-smoke serve-smoke

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"armvirt/internal/bench"
@@ -56,7 +57,12 @@ func main() {
 	}
 	run, ok := sweeps[*sweep]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		names := make([]string, 0, len(sweeps))
+		for name := range sweeps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "unknown sweep %q; choose one of %v\n", *sweep, names)
 		os.Exit(2)
 	}
 	res := run()

@@ -71,7 +71,7 @@ func main() {
 
 	factory, ok := bench.Factories()[*platformFlag]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platformFlag)
+		fmt.Fprintf(os.Stderr, "unknown platform %q; choose one of %v\n", *platformFlag, bench.PlatformNames())
 		os.Exit(2)
 	}
 	if !slices.Contains(workloads, *workloadFlag) {

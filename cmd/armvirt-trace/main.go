@@ -27,7 +27,7 @@ func main() {
 	factories := bench.Factories()
 	factory, ok := factories[*platformFlag]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platformFlag)
+		fmt.Fprintf(os.Stderr, "unknown platform %q; choose one of %v\n", *platformFlag, bench.PlatformNames())
 		os.Exit(2)
 	}
 	if !slices.Contains(micro.TracedOps, *op) {

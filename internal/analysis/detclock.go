@@ -1,0 +1,124 @@
+// detclock: forbid wall-clock and entropy reads inside the deterministic
+// simulated world.
+//
+// The engine's whole correctness story (DESIGN.md §6) is that simulated
+// time advances only through the event queue, so every run of an
+// experiment — at any -j level — produces byte-identical tables. A single
+// time.Now() or unseeded rand call in a cost path breaks that silently:
+// the run still completes, the output merely stops being reproducible,
+// and the content-addressed cache in internal/serve starts returning
+// bytes that no longer match a fresh run.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetclockScope lists the import-path fragments (relative to
+// armvirt/internal/) that form the deterministic world. An entry matches
+// the package itself and everything below it (so "hyp" covers hyp/kvm and
+// hyp/xen). The armvirt-vet -detclock.scope flag overrides it.
+var DetclockScope = []string{
+	"sim", "gic", "hyp", "sched", "vio", "netdev", "blockdev",
+	"micro", "workload", "timer", "mem", "cpu", "core", "bench",
+}
+
+// detclockDeny maps package path -> denied identifiers. An empty set
+// denies every package-level identifier.
+var detclockDeny = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+	// math/rand is denied except for the explicitly seeded constructors:
+	// rand.New(rand.NewSource(seed)) is the blessed shape (see
+	// bench/sensitivity.go); the package-level functions draw from a
+	// process-global, randomly seeded source.
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"crypto/rand":  {},
+	"os": {
+		"Getpid": true, "Getppid": true,
+	},
+}
+
+// detclockSeeded are the math/rand identifiers that are fine: they build
+// generators from caller-supplied seeds.
+var detclockSeeded = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// detclockInScope reports whether import path is part of the deterministic
+// world. Paths are matched after stripping the module's internal/ prefix,
+// so analysistest fixture packages can use bare names like "sim".
+func detclockInScope(path string) bool {
+	rel := strings.TrimPrefix(path, "armvirt/internal/")
+	for _, s := range DetclockScope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Detclock is the wall-clock/entropy analyzer.
+var Detclock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid wall-clock reads and unseeded randomness in deterministic packages; " +
+		"allowlist a package with //armvirt:wallclock",
+	Run: runDetclock,
+}
+
+func runDetclock(pass *Pass) error {
+	if !detclockInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	if hasDirective(pass.Files, "wallclock") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFunc(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			deny, denied := detclockDeny[path]
+			if !denied {
+				return true
+			}
+			// Type references (rand.Rand, rand.Source, time.Duration) are
+			// fine: only reads of the clock or the global source are
+			// nondeterministic.
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				return true
+			}
+			switch {
+			case deny == nil: // math/rand: all but seeded constructors
+				if detclockSeeded[name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"unseeded randomness %s.%s in deterministic package %s; use rand.New(rand.NewSource(seed))",
+					path, name, pass.Pkg.Path())
+			case len(deny) == 0: // whole package denied
+				pass.Reportf(sel.Pos(),
+					"entropy source %s.%s in deterministic package %s",
+					path, name, pass.Pkg.Path())
+			case deny[name]:
+				pass.Reportf(sel.Pos(),
+					"wall-clock or entropy read %s.%s in deterministic package %s; simulated code must take time from the engine clock (or allowlist the package with //armvirt:wallclock)",
+					path, name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestDetclockFixtures covers the positive fixture (a scope package
+// reading clocks and global randomness), the //armvirt:wallclock
+// allowlist escape hatch, and a package outside the deterministic scope.
+func TestDetclockFixtures(t *testing.T) {
+	runFixtures(t, Detclock, "sim", "gic", "clockfree")
+}
+
+func TestDetclockScopeMatching(t *testing.T) {
+	for path, want := range map[string]bool{
+		"armvirt/internal/sim":     true,
+		"armvirt/internal/hyp":     true,
+		"armvirt/internal/hyp/kvm": true,
+		"armvirt/internal/hyp/xen": true,
+		"armvirt/internal/serve":   false,
+		"armvirt/internal/obs":     false,
+		"armvirt/internal/simnew":  false, // prefix must stop at a path boundary
+		"sim":                      true,  // analysistest fixture paths
+		"clockfree":                false,
+	} {
+		if got := detclockInScope(path); got != want {
+			t.Errorf("detclockInScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

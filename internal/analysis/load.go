@@ -1,0 +1,177 @@
+// Package loading for armvirt-vet: a minimal module-aware loader in the
+// spirit of x/tools/go/packages, built from `go list -export -deps -json`
+// plus the standard library's gc export-data importer. Target packages are
+// parsed and type-checked from source; their dependencies are satisfied
+// from compiler export data, which `go list -export` builds (or fetches
+// from the build cache) without network access.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup satisfies go/importer's gc lookup contract from a map of
+// import path -> export-data file. It is safe for concurrent use and
+// lazily extends itself via `go list` for paths not seen yet (the
+// analysistest harness imports stdlib packages on demand this way).
+type exportLookup struct {
+	mu      sync.Mutex
+	dir     string // working directory for fallback go list calls
+	exports map[string]string
+}
+
+func newExportLookup(dir string) *exportLookup {
+	return &exportLookup{dir: dir, exports: map[string]string{}}
+}
+
+func (l *exportLookup) add(pkgs []listPkg) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	f, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		// Unknown import: ask the go tool for it (and its deps) once.
+		pkgs, err := goList(l.dir, "-deps", path)
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		l.add(pkgs)
+		l.mu.Lock()
+		f, ok = l.exports[path]
+		l.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// newInfo allocates a types.Info with every map analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load resolves the go list patterns in dir and returns the matched
+// packages parsed and type-checked, ready to analyze. Dependencies
+// (including stdlib) are imported from export data; only the target
+// packages themselves are parsed from source. Test files are not
+// analyzed: the invariants the suite enforces are production-code
+// properties, and tests legitimately use wall clocks and literals.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	lk := newExportLookup(dir)
+	lk.add(pkgs)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lk.lookup)
+	var out []*Package
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, af)
+		}
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		tp, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath, Dir: p.Dir,
+			Fset: fset, Files: files, Pkg: tp, TypesInfo: info,
+		})
+	}
+	return out, nil
+}

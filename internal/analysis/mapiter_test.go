@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestMapiterFixtures covers order-sensitive escapes (collected-and-
+// returned slices, direct prints, returns and channel sends from inside
+// the loop) and the negative shapes: sort-after-collect via both sort.*
+// and slices.Sort*, commutative aggregation, constant-only returns, and
+// map-to-map inversion.
+func TestMapiterFixtures(t *testing.T) {
+	runFixtures(t, Mapiter, "mapiter/a")
+}

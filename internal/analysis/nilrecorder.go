@@ -1,0 +1,238 @@
+// nilrecorder: enforce the nil-recorder zero-cost idiom on both sides of
+// the obs.Recorder API.
+//
+// A nil *obs.Recorder is a valid recorder that records nothing, so
+// instrumentation hooks stay in place at zero cost when observability is
+// off (the *trace.Breakdown idiom). That contract has two halves:
+//
+//  1. Definition side: every exported pointer-receiver method on
+//     obs.Recorder — and on any type that embeds one — must begin with
+//     the nil-receiver guard (`if r == nil { return ... }`, optionally
+//     with extra ||-joined cheap conditions), so calling through a nil
+//     recorder can never dereference it.
+//  2. Call side: the guard only makes the *call* free; arguments are
+//     evaluated before the callee runs. A composite literal or
+//     fmt.Sprintf argument allocates on every call even when the
+//     recorder is nil, which is exactly the hot-path cost the idiom
+//     exists to avoid. Such arguments must be precomputed once, derived
+//     without allocating, or the call site guarded.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nilrecorder is the nil-recorder idiom analyzer.
+var Nilrecorder = &Analyzer{
+	Name: "nilrecorder",
+	Doc: "exported obs.Recorder methods must open with the nil-receiver guard, and " +
+		"recorder call sites must not allocate arguments (composite literals, fmt.Sprintf)",
+	Run: runNilrecorder,
+}
+
+func runNilrecorder(pass *Pass) error {
+	checkRecorderMethods(pass)
+	checkRecorderCallSites(pass)
+	return nil
+}
+
+// recorderReceiver reports whether a method receiver type is *obs.Recorder
+// itself or a pointer to a struct embedding one.
+func recorderReceiver(t types.Type) bool {
+	if isRecorderType(t) {
+		return true
+	}
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Anonymous() && isRecorderType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkRecorderMethods(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || !fn.Name.IsExported() {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue // unnamed receiver: cannot be dereferenced by name
+			}
+			recvName := recvField.Names[0].Name
+			if recvName == "_" {
+				continue
+			}
+			rt := pass.TypesInfo.TypeOf(recvField.Type)
+			if rt == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(rt).(*types.Pointer); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			if !recorderReceiver(rt) {
+				continue
+			}
+			if fn.Body == nil || !startsWithNilGuard(fn.Body, recvName) {
+				pass.Reportf(fn.Name.Pos(),
+					"exported recorder method %s must begin with the nil-receiver guard `if %s == nil { return ... }` so a nil recorder stays a free no-op",
+					fn.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition contains `recv == nil` as one of its ||-joined operands
+// and whose body is just a return.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	if _, isRet := ifs.Body.List[0].(*ast.ReturnStmt); !isRet {
+		return false
+	}
+	return condHasNilCheck(ifs.Cond, recv)
+}
+
+// condHasNilCheck looks for `recv == nil` among the operands of a
+// ||-joined condition.
+func condHasNilCheck(cond ast.Expr, recv string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "||":
+			return condHasNilCheck(e.X, recv) || condHasNilCheck(e.Y, recv)
+		case "==":
+			return isIdentNamed(e.X, recv) && isNilIdent(e.Y) ||
+				isIdentNamed(e.Y, recv) && isNilIdent(e.X)
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }
+
+func checkRecorderCallSites(pass *Pass) {
+	for _, f := range pass.Files {
+		walkGuarded(pass, f, map[string]bool{})
+	}
+}
+
+// walkGuarded descends the AST tracking which expressions are lexically
+// known non-nil (the then-branch of `if x != nil`, possibly &&-joined).
+// A recorder call under such a guard for its own receiver is the blessed
+// remediation shape, so its arguments may allocate freely.
+func walkGuarded(pass *Pass, n ast.Node, guarded map[string]bool) {
+	if ifs, ok := n.(*ast.IfStmt); ok {
+		if ifs.Init != nil {
+			walkGuarded(pass, ifs.Init, guarded)
+		}
+		walkGuarded(pass, ifs.Cond, guarded)
+		inner := guarded
+		if exprs := nonNilConjuncts(ifs.Cond); len(exprs) > 0 {
+			inner = make(map[string]bool, len(guarded)+len(exprs))
+			for k := range guarded {
+				inner[k] = true
+			}
+			for _, e := range exprs {
+				inner[types.ExprString(e)] = true
+			}
+		}
+		walkGuarded(pass, ifs.Body, inner)
+		if ifs.Else != nil {
+			walkGuarded(pass, ifs.Else, guarded)
+		}
+		return
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		if recv, sel, ok := isMethodCall(pass.TypesInfo, call); ok &&
+			isRecorderType(pass.TypesInfo.TypeOf(recv)) &&
+			!guarded[types.ExprString(ast.Unparen(recv))] {
+			for _, arg := range call.Args {
+				if why := allocatingArg(pass, arg); why != "" {
+					pass.Reportf(arg.Pos(),
+						"%s argument to (*obs.Recorder).%s allocates before the nil guard can run; precompute it or guard the call with a recorder != nil check",
+						why, sel.Obj().Name())
+				}
+			}
+		}
+	}
+	// Generic descent for everything that is not an if statement.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n || child == nil {
+			return child == n
+		}
+		switch child.(type) {
+		case *ast.IfStmt, *ast.CallExpr:
+			walkGuarded(pass, child, guarded)
+			return false
+		}
+		return true
+	})
+}
+
+// nonNilConjuncts extracts the expressions proven non-nil by a condition:
+// the `x != nil` operands of an &&-joined chain.
+func nonNilConjuncts(cond ast.Expr) []ast.Expr {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&":
+			return append(nonNilConjuncts(e.X), nonNilConjuncts(e.Y)...)
+		case "!=":
+			if isNilIdent(e.Y) {
+				return []ast.Expr{ast.Unparen(e.X)}
+			}
+			if isNilIdent(e.X) {
+				return []ast.Expr{ast.Unparen(e.Y)}
+			}
+		}
+	}
+	return nil
+}
+
+// allocatingArg classifies arguments that allocate eagerly at a recorder
+// call site; "" means the argument is fine.
+func allocatingArg(pass *Pass, arg ast.Expr) string {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		return "composite-literal"
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); isLit {
+				return "composite-literal"
+			}
+		}
+	case *ast.CallExpr:
+		if path, name, ok := pkgFunc(pass.TypesInfo, e.Fun); ok && path == "fmt" &&
+			(name == "Sprintf" || name == "Sprint" || name == "Sprintln") {
+			return "fmt." + name
+		}
+	}
+	return ""
+}

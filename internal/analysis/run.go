@@ -1,0 +1,68 @@
+// The armvirt-vet driver: runs a set of analyzers over loaded packages and
+// renders diagnostics as vet-style text or JSON.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run applies each analyzer to each package and returns the diagnostics
+// sorted by position then analyzer name, so output is deterministic
+// regardless of analyzer or package order.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Position = pkg.Fset.Position(d.Pos).String()
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Position != diags[j].Position {
+			return diags[i].Position < diags[j].Position
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// WriteText renders diagnostics one per line in the canonical
+// file:line:col: message (analyzer) form compilers and editors parse.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s: %s (%s)\n", d.Position, d.Message, d.Analyzer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as an indented JSON array (an empty array
+// when there are none), for machine consumption in CI.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

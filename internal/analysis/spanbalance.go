@@ -1,0 +1,230 @@
+// spanbalance: every Span must be closed by an EndSpan on every return
+// path of the enclosing function.
+//
+// The profiler's phase tree (obs/profile.go) attributes cycles to the
+// innermost open span of the charging fiber. A Span with no EndSpan on
+// some exit path leaves the phase open forever: every later charge by
+// that fiber lands under the stale phase, silently corrupting the
+// per-phase breakdowns and the folded flamegraph output. The blessed
+// shape is `v.Span(p, "x"); defer v.EndSpan(p)`; sequential
+// Span ... EndSpan pairs are accepted when every return between them is
+// balanced, and a Span/EndSpan pair confined to one branch or loop body
+// is accepted when the branch is internally balanced.
+//
+// The checker is a structural walk, not a full CFG: Span/EndSpan calls
+// are recognized at statement level (expression statements and defers,
+// including `defer func() { ... EndSpan ... }()` closures), branches must
+// be internally balanced or terminate (return/panic/os.Exit), and a
+// function may not end with open spans. Closing with no open span is
+// allowed — the runtime EndSpan is deliberately lenient for teardown
+// paths — but opening without closing is always an error.
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Spanbalance is the Span/EndSpan pairing analyzer.
+var Spanbalance = &Analyzer{
+	Name: "spanbalance",
+	Doc: "every Recorder.Span must be paired with an EndSpan reachable on all " +
+		"return paths of the enclosing function (defer, or explicit on each exit)",
+	Run: runSpanbalance,
+}
+
+func runSpanbalance(pass *Pass) error {
+	funcScopes(pass.Files, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		// Forwarding wrappers named Span/EndSpan (hyp.VCPU.Span delegating
+		// to the machine recorder) are definitions of the API, not users.
+		if decl != nil && (decl.Name.Name == "Span" || decl.Name.Name == "EndSpan") {
+			return
+		}
+		w := &spanWalker{pass: pass}
+		stack, terminated := w.walkStmts(body.List, nil)
+		if !terminated {
+			w.reportOpen(stack, "the end of the function")
+		}
+	})
+	return nil
+}
+
+// openSpan is one un-closed Span call seen on the current path.
+type openSpan struct {
+	pos      ast.Node
+	reported bool
+}
+
+type spanWalker struct {
+	pass *Pass
+}
+
+func (w *spanWalker) reportOpen(stack []*openSpan, where string) {
+	for _, s := range stack {
+		if s.reported {
+			continue
+		}
+		s.reported = true
+		w.pass.Reportf(s.pos.Pos(),
+			"Span opened here has no EndSpan on the path to %s; use `defer ...EndSpan(p)` or close it on every exit", where)
+	}
+}
+
+// spanCallKind classifies a call expression: +1 Span, -1 EndSpan, 0 other.
+func (w *spanWalker) spanCallKind(call *ast.CallExpr) int {
+	_, sel, ok := isMethodCall(w.pass.TypesInfo, call)
+	if !ok {
+		return 0
+	}
+	switch sel.Obj().Name() {
+	case "Span":
+		return +1
+	case "EndSpan":
+		return -1
+	}
+	return 0
+}
+
+// walkStmts walks one statement list with the inherited open-span stack,
+// returning the resulting stack and whether the path terminated (return,
+// panic, os.Exit, or a branch statement that leaves the list).
+func (w *spanWalker) walkStmts(stmts []ast.Stmt, stack []*openSpan) ([]*openSpan, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		stack, terminated = w.walkStmt(s, stack)
+		if terminated {
+			return stack, true
+		}
+	}
+	return stack, false
+}
+
+func (w *spanWalker) walkStmt(s ast.Stmt, stack []*openSpan) ([]*openSpan, bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			switch w.spanCallKind(call) {
+			case +1:
+				stack = append(stack, &openSpan{pos: call})
+			case -1:
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			default:
+				if isTerminatingCall(call) {
+					return stack, true
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred EndSpan covers every later exit; model it as closing
+		// the innermost open span immediately. Deferred closures may close
+		// several.
+		n := 0
+		if w.spanCallKind(st.Call) == -1 {
+			n = 1
+		} else if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			inspectLocal(lit.Body, func(node ast.Node) bool {
+				if call, ok := node.(*ast.CallExpr); ok && w.spanCallKind(call) == -1 {
+					n++
+				}
+				return true
+			})
+		}
+		for ; n > 0 && len(stack) > 0; n-- {
+			stack = stack[:len(stack)-1]
+		}
+	case *ast.ReturnStmt:
+		w.reportOpen(stack, "this return")
+		return stack, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing list; conservatively
+		// treat as terminating so branch merges don't misfire.
+		return stack, true
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, stack)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, stack)
+	case *ast.IfStmt:
+		// Branches get copies of the stack: both may push, and slices
+		// sharing one backing array would alias each other's spans.
+		thenStack, thenTerm := w.walkStmts(st.Body.List, copyStack(stack))
+		elseStack, elseTerm := stack, false
+		if st.Else != nil {
+			elseStack, elseTerm = w.walkStmt(st.Else, copyStack(stack))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return stack, true
+		case thenTerm:
+			return elseStack, false
+		case elseTerm:
+			return thenStack, false
+		case len(thenStack) == len(elseStack):
+			return thenStack, false
+		default:
+			long := thenStack
+			if len(elseStack) > len(long) {
+				long = elseStack
+			}
+			w.reportOpen(long[len(stack):], "the branch join (the other branch does not close it)")
+			return stack, false
+		}
+	case *ast.ForStmt:
+		w.requireBalanced(st.Body, stack, "the loop body (spans must be closed within each iteration)")
+	case *ast.RangeStmt:
+		w.requireBalanced(st.Body, stack, "the loop body (spans must be closed within each iteration)")
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.requireBalancedList(cc.Body, stack, "the end of this case")
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.requireBalancedList(cc.Body, stack, "the end of this case")
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.requireBalancedList(cc.Body, stack, "the end of this case")
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine is its own fiber; its literal body is
+		// checked separately by funcScopes.
+	}
+	return stack, false
+}
+
+// requireBalanced checks a nested block opens no span it does not close.
+func (w *spanWalker) requireBalanced(body *ast.BlockStmt, stack []*openSpan, where string) {
+	w.requireBalancedList(body.List, stack, where)
+}
+
+func (w *spanWalker) requireBalancedList(stmts []ast.Stmt, stack []*openSpan, where string) {
+	out, terminated := w.walkStmts(stmts, copyStack(stack))
+	if !terminated && len(out) > len(stack) {
+		w.reportOpen(out[len(stack):], where)
+	}
+}
+
+func copyStack(stack []*openSpan) []*openSpan {
+	return append([]*openSpan(nil), stack...)
+}
+
+// isTerminatingCall recognizes calls that never return: panic and the
+// conventional process-exit family.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}

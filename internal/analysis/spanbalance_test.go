@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestSpanbalanceFixtures covers the blessed shapes (deferred EndSpan,
+// sequential pairs, branch-local pairs, deferred closures, per-branch
+// closes, panic paths) and the leak shapes (early return, no close,
+// asymmetric branch, per-iteration leak, switch-case leak).
+func TestSpanbalanceFixtures(t *testing.T) {
+	runFixtures(t, Spanbalance, "spanbalance/a")
+}

@@ -1,0 +1,11 @@
+// Package clockfree is a detclock negative fixture: its import path is
+// outside the deterministic scope (think internal/serve), so wall-clock
+// reads are none of detclock's business.
+package clockfree
+
+import "time"
+
+// Latency measures real request latency in an HTTP handler.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start)
+}

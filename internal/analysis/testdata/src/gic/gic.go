@@ -1,0 +1,14 @@
+// Package gic is a detclock negative fixture: the import path is inside
+// the deterministic scope, but the //armvirt:wallclock directive
+// allowlists the whole package, so no diagnostics may be reported.
+//
+//armvirt:wallclock fixture: models an export path that stamps host time
+package gic
+
+import "time"
+
+// Stamp legitimately reads wall time; the package-level directive is the
+// escape hatch.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,36 @@
+// Package a exercises nilrecorder's call-site half: arguments to recorder
+// methods are evaluated before the nil guard runs, so allocating argument
+// expressions defeat the zero-cost idiom even when the recorder is nil.
+package a
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+type payload struct {
+	kind string
+}
+
+// Hot is an instrumented hot path.
+func Hot(rec *obs.Recorder, id int) {
+	rec.Emit(fmt.Sprintf("vcpu%d", id), 0) // want `fmt.Sprintf argument to \(\*obs.Recorder\).Emit allocates`
+	rec.Attach(payload{kind: "exit"})      // want `composite-literal argument to \(\*obs.Recorder\).Attach allocates`
+	rec.Attach(&payload{kind: "exit"})     // want `composite-literal argument to \(\*obs.Recorder\).Attach allocates`
+
+	// Constant and precomputed arguments are free.
+	rec.Emit("wfi", int64(id))
+}
+
+// Guarded shows the blessed shapes: put the expensive argument behind an
+// explicit recorder != nil check, or pass a precomputed value.
+func Guarded(rec *obs.Recorder, id int, ready *payload) {
+	if rec != nil {
+		rec.Emit(fmt.Sprintf("vcpu%d", id), 0) // guarded: allocation only happens when recording
+	}
+	if rec != nil && id > 0 {
+		rec.Attach(&payload{kind: "exit"}) // guarded via &&-joined condition
+	}
+	rec.Attach(ready)
+}

@@ -1,0 +1,47 @@
+// Package sim is a detclock fixture: its bare import path matches the
+// deterministic scope, so wall-clock and unseeded-randomness reads must be
+// flagged while seeded generators and pure type references stay legal.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Now reads the wall clock from simulated code.
+func Now() int64 {
+	return time.Now().UnixNano() // want `wall-clock or entropy read time.Now in deterministic package sim`
+}
+
+// Elapsed measures host time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock or entropy read time.Since`
+}
+
+// Nap stalls the host, not the simulation.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `wall-clock or entropy read time.Sleep`
+}
+
+// Jitter draws from the process-global, randomly seeded source.
+func Jitter() float64 {
+	return rand.Float64() // want `unseeded randomness math/rand.Float64`
+}
+
+// Pid mixes process identity into the simulated world.
+func Pid() int {
+	return os.Getpid() // want `wall-clock or entropy read os.Getpid`
+}
+
+// SeededPerturb is the blessed shape: an explicit seed makes the stream
+// reproducible, and rand.Rand as a type is not a randomness source.
+func SeededPerturb(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Timeout uses time only for arithmetic on simulated durations — no
+// clock is read.
+func Timeout(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Microsecond
+}

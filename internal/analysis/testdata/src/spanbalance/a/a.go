@@ -1,0 +1,124 @@
+// Package a exercises spanbalance: every Span must be closed by an
+// EndSpan on every return path. The deferred EndSpan is the blessed
+// shape; sequential and branch-local pairs are fine when balanced, and
+// leaks on any path are flagged at the opening Span.
+package a
+
+import "obs"
+
+func work() {}
+
+// GoodDefer is the blessed shape: the defer covers every exit.
+func GoodDefer(r *obs.Recorder) {
+	r.Span("hypercall")
+	defer r.EndSpan()
+	work()
+}
+
+// GoodSequential closes explicitly on the only path.
+func GoodSequential(r *obs.Recorder) {
+	r.Span("gic-save")
+	work()
+	r.EndSpan()
+}
+
+// GoodBranchLocal opens and closes within a single branch.
+func GoodBranchLocal(r *obs.Recorder, vgic bool) {
+	if vgic {
+		r.Span("vgic-regs")
+		work()
+		r.EndSpan()
+	}
+	work()
+}
+
+// GoodNested nests phases, each covered by its own defer.
+func GoodNested(r *obs.Recorder) {
+	r.Span("outer")
+	defer r.EndSpan()
+	r.Span("inner")
+	defer r.EndSpan()
+	work()
+}
+
+// GoodClosure closes through a deferred closure.
+func GoodClosure(r *obs.Recorder) {
+	r.Span("teardown")
+	defer func() {
+		work()
+		r.EndSpan()
+	}()
+	work()
+}
+
+// GoodBothBranches closes on each side of the if.
+func GoodBothBranches(r *obs.Recorder, fast bool) {
+	r.Span("trap")
+	if fast {
+		r.EndSpan()
+		return
+	}
+	work()
+	r.EndSpan()
+}
+
+// GoodLoopLocal balances within each iteration.
+func GoodLoopLocal(r *obs.Recorder, names []string) {
+	for _, n := range names {
+		r.Span(n)
+		work()
+		r.EndSpan()
+	}
+}
+
+// GoodPanicPath may leave the span open on the panic path: the process is
+// going down anyway, and the runtime EndSpan is lenient.
+func GoodPanicPath(r *obs.Recorder, broken bool) {
+	r.Span("load-vm-state")
+	defer r.EndSpan()
+	if broken {
+		panic("model violation")
+	}
+	work()
+}
+
+// BadEarlyReturn leaks the span on the early return.
+func BadEarlyReturn(r *obs.Recorder, skip bool) int {
+	r.Span("hypercall") // want `Span opened here has no EndSpan on the path to this return`
+	if skip {
+		return 0
+	}
+	r.EndSpan()
+	return 1
+}
+
+// BadNoClose never closes at all.
+func BadNoClose(r *obs.Recorder) {
+	r.Span("world-switch") // want `no EndSpan on the path to the end of the function`
+	work()
+}
+
+// BadBranchOpen opens in one branch only and leaks past the join.
+func BadBranchOpen(r *obs.Recorder, vgic bool) {
+	if vgic {
+		r.Span("vgic-save") // want `no EndSpan on the path to the branch join`
+	}
+	work()
+}
+
+// BadLoop opens once per iteration and never closes.
+func BadLoop(r *obs.Recorder, names []string) {
+	for _, n := range names {
+		r.Span(n) // want `no EndSpan on the path to the loop body`
+	}
+}
+
+// BadCase leaks from a switch case.
+func BadCase(r *obs.Recorder, mode int) {
+	switch mode {
+	case 0:
+		r.Span("fast-path") // want `no EndSpan on the path to the end of this case`
+	default:
+		work()
+	}
+}

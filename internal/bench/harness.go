@@ -27,6 +27,18 @@ func Factories() map[string]Factory {
 	}
 }
 
+// PlatformNames lists the Factories keys in sorted order, for flag
+// validation messages and deterministic sweeps over all platforms.
+func PlatformNames() []string {
+	f := Factories()
+	names := make([]string, 0, len(f))
+	for name := range f {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Cell is one paper-vs-measured comparison.
 type Cell struct {
 	Paper    float64

@@ -128,11 +128,9 @@ func (k *KVM) exitToHost(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.Trap()
 		for _, cls := range armAllClasses {
 			if cls == cpu.VGIC {
-				v.Span(p, gic.SpanSave)
-			}
-			v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
-			if cls == cpu.VGIC {
-				v.EndSpan(p)
+				v.ChargeSpanned(p, gic.SpanSave, cls.String()+": save", cm.Class[cls].Save)
+			} else {
+				v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
 			}
 		}
 		v.VgicImage = pc.VIface.SaveImage()
@@ -183,11 +181,9 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 			if cur != nil {
 				for _, cls := range armAllClasses[1:] { // GP already saved at exit
 					if cls == cpu.VGIC {
-						v.Span(p, gic.SpanSave)
-					}
-					v.Charge(p, cls.String()+": save (other VM)", cm.Class[cls].Save)
-					if cls == cpu.VGIC {
-						v.EndSpan(p)
+						v.ChargeSpanned(p, gic.SpanSave, cls.String()+": save (other VM)", cm.Class[cls].Save)
+					} else {
+						v.Charge(p, cls.String()+": save (other VM)", cm.Class[cls].Save)
 					}
 				}
 				cur.VgicImage = pc.VIface.SaveImage()
@@ -196,11 +192,9 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 			}
 			for _, cls := range armAllClasses[1:] {
 				if cls == cpu.VGIC {
-					v.Span(p, gic.SpanRestore)
-				}
-				v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
-				if cls == cpu.VGIC {
-					v.EndSpan(p)
+					v.ChargeSpanned(p, gic.SpanRestore, cls.String()+": restore", cm.Class[cls].Restore)
+				} else {
+					v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
 				}
 			}
 			pc.VIface.LoadImage(v.VgicImage)
@@ -224,11 +218,9 @@ func (k *KVM) enterGuest(p *sim.Proc, v *hyp.VCPU) {
 		pc.P.EnableTraps()
 		for _, cls := range armAllClasses {
 			if cls == cpu.VGIC {
-				v.Span(p, gic.SpanRestore)
-			}
-			v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
-			if cls == cpu.VGIC {
-				v.EndSpan(p)
+				v.ChargeSpanned(p, gic.SpanRestore, cls.String()+": restore", cm.Class[cls].Restore)
+			} else {
+				v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
 			}
 		}
 		pc.VIface.LoadImage(v.VgicImage)

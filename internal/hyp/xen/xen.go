@@ -180,11 +180,9 @@ func (x *Xen) saveVMState(p *sim.Proc, v *hyp.VCPU) {
 	cm := x.m.Cost
 	for _, cls := range armVMClasses {
 		if cls == cpu.VGIC {
-			v.Span(p, gic.SpanSave)
-		}
-		v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
-		if cls == cpu.VGIC {
-			v.EndSpan(p)
+			v.ChargeSpanned(p, gic.SpanSave, cls.String()+": save", cm.Class[cls].Save)
+		} else {
+			v.Charge(p, cls.String()+": save", cm.Class[cls].Save)
 		}
 	}
 	v.VgicImage = v.CPU.VIface.SaveImage()
@@ -203,11 +201,9 @@ func (x *Xen) loadVMState(p *sim.Proc, v *hyp.VCPU) {
 	defer v.EndSpan(p)
 	for _, cls := range armVMClasses {
 		if cls == cpu.VGIC {
-			v.Span(p, gic.SpanRestore)
-		}
-		v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
-		if cls == cpu.VGIC {
-			v.EndSpan(p)
+			v.ChargeSpanned(p, gic.SpanRestore, cls.String()+": restore", cm.Class[cls].Restore)
+		} else {
+			v.Charge(p, cls.String()+": restore", cm.Class[cls].Restore)
 		}
 	}
 	v.CPU.VIface.LoadImage(v.VgicImage)
