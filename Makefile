@@ -49,13 +49,18 @@ bench-smoke:
 # serve-smoke boots the armvirt-serve daemon, waits for /healthz, then
 # checks the cache-correctness contract end to end: a cold (fresh-run)
 # response, a warm (cache-hit) response, and armvirt-report -json output
-# must be byte-identical, and /metrics must report the hit. SIGTERM must
-# drain and exit 0.
+# must be byte-identical, and /metrics must report the hit. It then
+# exercises the run ledger: /v1/runs must list the experiment run, its
+# Chrome trace must be schema-valid JSON (kept at /tmp/serve-trace.json
+# for CI to archive), and armvirt-runs must query the ledger file after
+# the server exits. SIGTERM must drain and exit 0.
 serve-smoke:
 	$(GO) build -o /tmp/armvirt-serve ./cmd/armvirt-serve
 	$(GO) build -o /tmp/armvirt-report ./cmd/armvirt-report
+	$(GO) build -o /tmp/armvirt-runs ./cmd/armvirt-runs
 	@set -e; \
-	/tmp/armvirt-serve -addr 127.0.0.1:18080 & pid=$$!; \
+	rm -f /tmp/serve-ledger.jsonl /tmp/serve-ledger.jsonl.1; \
+	/tmp/armvirt-serve -addr 127.0.0.1:18080 -ledger /tmp/serve-ledger.jsonl & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 50); do curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
 	curl -fsS http://127.0.0.1:18080/healthz >/dev/null; \
@@ -66,7 +71,13 @@ serve-smoke:
 	diff -u /tmp/serve-cold.json /tmp/serve-direct.json; \
 	curl -fsS "http://127.0.0.1:18080/v1/profile/kvm-arm/hypercall?format=folded" >/dev/null; \
 	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_cache_hits_total 1'; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_stage_latency_us{stage="engine"'; \
+	run=$$(curl -fsS "http://127.0.0.1:18080/v1/runs?experiment=T2&outcome=miss&format=json" | jq -re '.[0].id'); \
+	curl -fsS "http://127.0.0.1:18080/v1/runs/$$run" | jq -e '.target == "T2" and .outcome == "miss" and .engine.cycles > 0' >/dev/null; \
+	curl -fsS "http://127.0.0.1:18080/v1/runs/$$run/trace" > /tmp/serve-trace.json; \
+	jq -e 'type == "array" and (map(select(.ph == "X" or .ph == "M")) | length) == length and ([.[].pid] | unique | contains([1, 2]))' /tmp/serve-trace.json >/dev/null; \
 	kill -TERM $$pid; wait $$pid; \
-	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; graceful drain)"
+	/tmp/armvirt-runs -experiment T2 -status 200 /tmp/serve-ledger.jsonl | grep -q "$$run"; \
+	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; run ledger + trace valid; graceful drain)"
 
 ci: fmt-check lint build race report-diff prof-determinism bench-smoke serve-smoke

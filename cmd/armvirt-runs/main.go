@@ -1,0 +1,68 @@
+// Command armvirt-runs queries a run-ledger file written by
+// armvirt-serve -ledger: the append-only JSONL record of every request
+// the server answered, each entry carrying wall-time stage spans and the
+// deterministic simulation-engine snapshot.
+//
+//	armvirt-runs runs.jsonl
+//	armvirt-runs -since 5m -status 200 runs.jsonl
+//	armvirt-runs -experiment T2 -json runs.jsonl | jq .
+//
+// The previous rotation generation (<file>.1) is read first when it
+// exists, so a query spans both generations in order. Torn trailing
+// lines (a crash mid-append) are skipped, not fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/runlog"
+)
+
+func main() {
+	since := flag.Duration("since", 0, "only runs newer than this (e.g. 5m; 0 = all)")
+	experiment := flag.String("experiment", "", "only runs of this target (experiment ID or platform/op)")
+	endpoint := flag.String("endpoint", "", "only runs of this endpoint (experiment, profile, ...)")
+	status := flag.Int("status", 0, "only runs answered with this HTTP status (0 = all)")
+	outcome := flag.String("outcome", "", "only runs with this cache outcome (hit, miss, shared)")
+	n := flag.Int("n", 0, "keep only the most recent N matching runs (0 = all)")
+	asJSON := flag.Bool("json", false, "emit the matching entries as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: armvirt-runs [flags] <ledger.jsonl>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	entries, err := runlog.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armvirt-runs: %v\n", err)
+		os.Exit(1)
+	}
+	q := runlog.Query{
+		Endpoint: *endpoint,
+		Target:   *experiment,
+		Status:   *status,
+		Outcome:  *outcome,
+		Limit:    *n,
+	}
+	if *since > 0 {
+		q.Since = time.Now().Add(-*since)
+	}
+	entries = runlog.Filter(entries, q)
+
+	if *asJSON {
+		if err := bench.WriteJSON(os.Stdout, entries); err != nil {
+			fmt.Fprintf(os.Stderr, "armvirt-runs: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runlog.RenderEntries(os.Stdout, entries)
+}

@@ -3,17 +3,20 @@
 // results, the span profiler's per-phase breakdowns, and live Prometheus
 // metrics.
 //
-//	armvirt-serve -addr :8080
+//	armvirt-serve -addr :8080 -ledger runs.jsonl
 //	curl localhost:8080/v1/experiments
 //	curl "localhost:8080/v1/experiments/T2?format=json"
 //	curl localhost:8080/v1/profile/kvm-arm/hypercall?format=folded
+//	curl localhost:8080/v1/runs
 //	curl localhost:8080/metrics
 //
 // Results are served from a content-addressed LRU cache (experiments are
 // deterministic, so a hit is byte-identical to a fresh run); cold
 // requests go through admission control — a bounded worker pool and wait
-// queue, shedding excess load with 429. SIGINT/SIGTERM trigger graceful
-// shutdown: stop accepting, drain in-flight runs, then exit.
+// queue, shedding excess load with 429. Every request is recorded in the
+// run ledger (-ledger persists it as JSONL; armvirt-runs queries the
+// file offline) and browsable live at /v1/runs. SIGINT/SIGTERM trigger
+// graceful shutdown: stop accepting, drain in-flight runs, then exit.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"armvirt/internal/runlog"
 	"armvirt/internal/serve"
 )
 
@@ -38,13 +42,24 @@ func main() {
 	queue := flag.Int("queue", 64, "max requests waiting for a worker before 429")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request admission timeout")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight connections")
+	ledgerPath := flag.String("ledger", "", "run-ledger JSONL file (empty: in-memory only)")
+	ledgerMB := flag.Int64("ledger-mb", 8, "ledger file byte cap in MiB before rotation")
+	ledgerKeep := flag.Int("ledger-keep", 512, "ledger entries kept in memory for /v1/runs")
 	flag.Parse()
+
+	lg, err := runlog.Open(*ledgerPath, *ledgerMB<<20, *ledgerKeep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "armvirt-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer lg.Close()
 
 	srv := serve.New(serve.Config{
 		CacheBytes: *cacheMB << 20,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Timeout:    *timeout,
+		Ledger:     lg,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -53,8 +68,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "armvirt-serve: listening on %s (study %s, %d workers, queue %d, cache %d MiB)\n",
-		*addr, srv.StudyHash(), *workers, *queue, *cacheMB)
+	ledgerDesc := "in-memory"
+	if *ledgerPath != "" {
+		ledgerDesc = *ledgerPath
+	}
+	fmt.Fprintf(os.Stderr, "armvirt-serve: listening on %s (study %s, %d workers, queue %d, cache %d MiB, ledger %s)\n",
+		*addr, srv.StudyHash(), *workers, *queue, *cacheMB, ledgerDesc)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunlogVetClean pins the run-ledger package's analyzer contract
+// even under -short (TestSuiteCleanOnModule covers it in full runs):
+// internal/runlog is wall-clock-side observability by design, OUTSIDE
+// the detclock scope, so it must stay clean under the whole suite with
+// zero armvirt:wallclock escape directives — the wall clock is legal
+// there, not escaped.
+func TestRunlogVetClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // internal/analysis -> module root
+	pkgs, err := Load(root, "./internal/runlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	diags, err := Run(Analyzers(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal/runlog not vet-clean: %s", fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer))
+	}
+
+	// No escape directives: the package must not need them.
+	entries, err := os.ReadDir(filepath.Join(root, "internal", "runlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(root, "internal", "runlog", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(b, []byte("armvirt:wallclock")) {
+			t.Errorf("%s contains an armvirt:wallclock directive; runlog is outside the detclock scope and must not need one", e.Name())
+		}
+	}
+}

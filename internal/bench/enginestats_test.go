@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"armvirt/internal/sim"
+)
+
+// collectBreakdownStats profiles the given units and returns the
+// aggregate engine snapshot as canonical JSON bytes.
+func collectBreakdownStats(t *testing.T, labels, ops []string, parallelism int) []byte {
+	t.Helper()
+	col := sim.CollectStats(func() {
+		RunPhaseBreakdowns(labels, ops, parallelism)
+	})
+	snap := col.Snapshot()
+	if snap.Engines == 0 || snap.Events == 0 || snap.Cycles == 0 {
+		t.Fatalf("empty engine snapshot: %+v", snap)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEngineStatsDeterministic is the dual-timebase acceptance test: the
+// sim-side run ledger content — events dispatched, proc switches, procs
+// spawned, heap high-water, total simulated cycles — must be
+// byte-identical across repeated identical runs and across worker-pool
+// parallelism levels, exactly like the measurements themselves. Only the
+// wall-clock side of a ledger entry may vary between runs.
+func TestEngineStatsDeterministic(t *testing.T) {
+	labels := []string{"KVM ARM", "Xen ARM"}
+	ops := []string{"hypercall", "vmswitch"}
+
+	first := collectBreakdownStats(t, labels, ops, 1)
+	second := collectBreakdownStats(t, labels, ops, 1)
+	if string(first) != string(second) {
+		t.Errorf("identical runs diverged:\n  run1: %s\n  run2: %s", first, second)
+	}
+
+	parallel := collectBreakdownStats(t, labels, ops, 4)
+	if string(first) != string(parallel) {
+		t.Errorf("snapshot depends on parallelism:\n  -j1: %s\n  -j4: %s", first, parallel)
+	}
+}
+
+// TestEngineStatsScopedToCollector checks that concurrent bench runs
+// outside the collector do not leak engines into it: a collector sees
+// exactly the engines of the work it wrapped.
+func TestEngineStatsScopedToCollector(t *testing.T) {
+	var inner sim.EngineStats
+	col := sim.CollectStats(func() {
+		inner = sim.CollectStats(func() {
+			RunPhaseBreakdowns([]string{"KVM ARM"}, []string{"hypercall"}, 1)
+		}).Snapshot()
+	})
+	outer := col.Snapshot()
+	if outer.Engines != 0 {
+		t.Errorf("outer collector captured %d engines from an inner scope", outer.Engines)
+	}
+	if inner.Engines == 0 {
+		t.Error("inner collector captured nothing")
+	}
+}

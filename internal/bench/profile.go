@@ -8,6 +8,7 @@ import (
 
 	"armvirt/internal/micro"
 	"armvirt/internal/obs"
+	"armvirt/internal/sim"
 )
 
 // PhaseUnit is one profiled (platform, operation) pair: the measured
@@ -68,10 +69,15 @@ func RunPhaseBreakdowns(labels, ops []string, parallelism int) PhaseBreakdownRes
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// Workers inherit the caller's engine-stats binding so the engines
+	// each unit builds register with the caller's sim.StatsCollector.
+	bind := sim.InheritStats()
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			detach := bind()
+			defer detach()
 			for i := range jobs {
 				j := jobsList[i]
 				pr := micro.ProfileOp(f[j.label](), j.op)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"armvirt/internal/bench"
+	"armvirt/internal/sim"
 )
 
 // Report pairs an experiment with its outcome: the structured result, or
@@ -68,10 +69,15 @@ func RunAll(ctx context.Context, parallelism int) []Report {
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	// Workers inherit the caller's engine-stats binding so engines built
+	// inside experiments register with the caller's sim.StatsCollector.
+	bind := sim.InheritStats()
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			detach := bind()
+			defer detach()
 			for i := range jobs {
 				reports[i] = RunOne(exps[i])
 			}

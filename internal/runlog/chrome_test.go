@@ -1,0 +1,163 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"armvirt/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEntry is a fully-populated fixture with fixed timings, so its
+// trace export is byte-stable.
+func goldenEntry() *Entry {
+	return &Entry{
+		ID:        "20260101t000000-000042",
+		Start:     time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		Endpoint:  "experiment",
+		Target:    "T2",
+		Format:    "json",
+		StudyHash: "0123456789abcdef",
+		Status:    200,
+		Outcome:   "miss",
+		TotalUS:   1500,
+		Spans: []*Span{
+			{Name: "cache", StartUS: 10, DurUS: 1450, Children: []*Span{
+				{Name: "admission-wait", StartUS: 20, DurUS: 30},
+				{Name: "engine", StartUS: 50, DurUS: 1200},
+				{Name: "render", StartUS: 1250, DurUS: 200},
+			}},
+		},
+		Engines: []sim.EngineStats{
+			{Engines: 1, Events: 4096, ProcSwitches: 512, ProcsSpawned: 9, HeapHighWater: 33, Cycles: 250000},
+			{Engines: 1, Events: 128, ProcSwitches: 16, ProcsSpawned: 3, HeapHighWater: 7, Cycles: 9000},
+		},
+		Engine: &sim.EngineStats{Engines: 2, Events: 4224, ProcSwitches: 528, ProcsSpawned: 12, HeapHighWater: 33, Cycles: 259000},
+	}
+}
+
+// TestChromeTraceGolden pins the exact bytes of the trace export — the
+// encoding is part of the serve API surface (/v1/runs/{id}/trace).
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEntry()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/runlog -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceStable: two exports of the same entry are byte-identical.
+func TestChromeTraceStable(t *testing.T) {
+	var a, b bytes.Buffer
+	e := goldenEntry()
+	if err := WriteChromeTrace(&a, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("repeated exports differ")
+	}
+}
+
+// TestChromeTraceSchema validates the export against the trace-event
+// format contract: a JSON array whose records carry the required keys
+// with legal phase codes, both track groups present, and wall-span
+// timings contained within the request event.
+func TestChromeTraceSchema(t *testing.T) {
+	e := goldenEntry()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	pids := map[float64]bool{}
+	var total float64
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		switch ph {
+		case "M":
+			if ev["args"].(map[string]any)["name"] == "" {
+				t.Errorf("metadata event %d without a name payload", i)
+			}
+		case "X":
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Errorf("duration event %d has bad dur: %v", i, ev["dur"])
+			}
+			if ts := ev["ts"].(float64); ts < 0 {
+				t.Errorf("duration event %d has negative ts", i)
+			}
+			pids[ev["pid"].(float64)] = true
+			if ev["pid"].(float64) == pidWall && total == 0 {
+				total = dur // first X on the wall group is the request event
+			}
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	if !pids[pidWall] || !pids[pidSim] {
+		t.Errorf("missing a track group: saw pids %v, want both %d (wall) and %d (sim)", pids, pidWall, pidSim)
+	}
+	if total != float64(e.TotalUS) {
+		t.Errorf("request event dur = %v, want TotalUS %d", total, e.TotalUS)
+	}
+	// Wall spans stay inside the request window.
+	for i, ev := range events {
+		if ev["ph"] == "X" && ev["pid"].(float64) == pidWall {
+			if end := ev["ts"].(float64) + ev["dur"].(float64); end > total {
+				t.Errorf("event %d (%v) ends at %v, past request total %v", i, ev["name"], end, total)
+			}
+		}
+	}
+}
+
+// TestChromeTraceNoEngines: a request that ran no engines (listing,
+// cache hit before stats existed) still exports a valid wall-only trace.
+func TestChromeTraceNoEngines(t *testing.T) {
+	e := &Entry{ID: "r-1", Endpoint: "experiments", Status: 200, TotalUS: 42,
+		Spans: []*Span{{Name: "render", StartUS: 1, DurUS: 40}}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["pid"].(float64) == pidSim {
+			t.Errorf("sim track emitted with no engines: %v", ev)
+		}
+	}
+}

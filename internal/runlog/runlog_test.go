@@ -1,0 +1,277 @@
+package runlog
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"armvirt/internal/sim"
+)
+
+func TestTraceSpansNest(t *testing.T) {
+	tr := NewTrace("experiment")
+	outer := tr.Start("cache")
+	inner := tr.Start("admission-wait")
+	inner.End()
+	eng := tr.Start("engine")
+	eng.End()
+	outer.End()
+	tr.SetTarget("T2", "json")
+	tr.SetOutcome("miss")
+	e := tr.Finish(200)
+
+	if e.Endpoint != "experiment" || e.Target != "T2" || e.Format != "json" ||
+		e.Outcome != "miss" || e.Status != 200 {
+		t.Errorf("entry fields wrong: %+v", e)
+	}
+	if len(e.Spans) != 1 || e.Spans[0].Name != "cache" {
+		t.Fatalf("want one root span 'cache', got %+v", e.Spans)
+	}
+	kids := e.Spans[0].Children
+	if len(kids) != 2 || kids[0].Name != "admission-wait" || kids[1].Name != "engine" {
+		t.Fatalf("want children [admission-wait engine], got %+v", kids)
+	}
+	// Stage durations are consistent: children within parent, parent
+	// within total.
+	if e.Spans[0].DurUS > e.TotalUS {
+		t.Errorf("root span %dus exceeds total %dus", e.Spans[0].DurUS, e.TotalUS)
+	}
+	for _, k := range kids {
+		if k.StartUS < e.Spans[0].StartUS || k.DurUS > e.Spans[0].DurUS {
+			t.Errorf("child %+v escapes parent %+v", k, e.Spans[0])
+		}
+	}
+}
+
+func TestTraceOpenSpansClosedAtFinish(t *testing.T) {
+	tr := NewTrace("x")
+	tr.Start("a")
+	tr.Start("b") // neither ended
+	e := tr.Finish(500)
+	e.EachSpan(func(s *Span) {
+		if s.open {
+			t.Errorf("span %s still open after Finish", s.Name)
+		}
+		if s.StartUS+s.DurUS > e.TotalUS {
+			t.Errorf("span %s (%d+%dus) ends past total %dus", s.Name, s.StartUS, s.DurUS, e.TotalUS)
+		}
+	})
+}
+
+func TestTraceOutOfOrderEnd(t *testing.T) {
+	tr := NewTrace("x")
+	a := tr.Start("a")
+	tr.Start("b")
+	a.End() // closes b too
+	c := tr.Start("c")
+	c.End()
+	e := tr.Finish(200)
+	if len(e.Spans) != 2 || e.Spans[0].Name != "a" || e.Spans[1].Name != "c" {
+		t.Errorf("roots = %+v, want [a c]", e.Spans)
+	}
+	if len(e.Spans[0].Children) != 1 || e.Spans[0].Children[0].open {
+		t.Errorf("b not closed under a: %+v", e.Spans[0].Children)
+	}
+}
+
+// TestNilSafety: the nil trace and nil handle ignore everything —
+// instrumented code paths carry no conditionals.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.SetTarget("x", "y")
+	tr.SetOutcome("hit")
+	tr.SetError(os.ErrNotExist)
+	tr.SetEngineStats([]sim.EngineStats{{}})
+	tr.Start("a").End()
+	if tr.Finish(200) != nil || tr.ID() != "" {
+		t.Error("nil trace must produce nothing")
+	}
+	var l *Ledger
+	l.Append(&Entry{ID: "x"})
+	if l.Begin("e") != nil || l.Get("x") != nil || l.Recent(Query{}) != nil {
+		t.Error("nil ledger must produce nothing")
+	}
+	if (l.Stats() != LedgerStats{}) || l.Close() != nil {
+		t.Error("nil ledger stats/close must be zero")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Error("TraceFrom on a bare context must be nil")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	tr := NewTrace("e")
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("TraceFrom did not return the carried trace")
+	}
+}
+
+func TestLedgerAppendQueryGet(t *testing.T) {
+	l, err := Open("", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		tr := l.Begin("experiment")
+		tr.SetTarget("T2", "json")
+		if i%2 == 0 {
+			tr.SetOutcome("hit")
+		} else {
+			tr.SetOutcome("miss")
+		}
+		e := tr.Finish(200)
+		ids = append(ids, e.ID)
+		l.Append(e)
+	}
+	st := l.Stats()
+	if st.Entries != 4 || st.Appended != 6 || st.Dropped != 2 {
+		t.Errorf("stats = %+v, want 4 resident, 6 appended, 2 dropped", st)
+	}
+	if l.Get(ids[0]) != nil {
+		t.Error("oldest entry should have been evicted from the ring")
+	}
+	if l.Get(ids[5]) == nil {
+		t.Error("newest entry missing from the ring")
+	}
+	recent := l.Recent(Query{})
+	if len(recent) != 4 || recent[0].ID != ids[5] {
+		t.Errorf("Recent order wrong: got %d entries, first %s", len(recent), recent[0].ID)
+	}
+	if got := l.Recent(Query{Outcome: "hit"}); len(got) != 2 {
+		t.Errorf("outcome filter: got %d, want 2", len(got))
+	}
+	if got := l.Recent(Query{Limit: 1}); len(got) != 1 || got[0].ID != ids[5] {
+		t.Errorf("limit filter wrong: %+v", got)
+	}
+	if got := l.Recent(Query{Target: "nope"}); len(got) != 0 {
+		t.Errorf("target filter: got %d, want 0", len(got))
+	}
+}
+
+func TestLedgerFileAppendRotateRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	// Cap small enough that a handful of entries forces a rotation.
+	l, err := Open(path, 700, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 8; i++ {
+		tr := l.Begin("experiment")
+		tr.SetTarget("T2", "json")
+		tr.Start("engine").End()
+		tr.SetEngineStats([]sim.EngineStats{{Engines: 1, Events: 100, Cycles: 5000}})
+		e := tr.Finish(200)
+		ids = append(ids, e.ID)
+		l.Append(e)
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("expected at least one rotation under a 700-byte cap, stats %+v", st)
+	}
+	if st.WriteErrs != 0 {
+		t.Fatalf("write errors: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Fatalf("rotated generation missing: %v", err)
+	}
+
+	// ReadFile spans both generations, oldest first.
+	entries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || len(entries) > 8 {
+		t.Fatalf("read %d entries, want (0,8]", len(entries))
+	}
+	last := entries[len(entries)-1]
+	if last.ID != ids[7] {
+		t.Errorf("last entry = %s, want %s", last.ID, ids[7])
+	}
+	if last.Engine == nil || last.Engine.Cycles != 5000 {
+		t.Errorf("engine stats did not round-trip: %+v", last.Engine)
+	}
+	if len(last.Spans) != 1 || last.Spans[0].Name != "engine" {
+		t.Errorf("spans did not round-trip: %+v", last.Spans)
+	}
+
+	// A torn trailing line is skipped, not fatal.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"id":"torn`)
+	f.Close()
+	again, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Errorf("torn line changed entry count: %d vs %d", len(again), len(entries))
+	}
+}
+
+func TestFilterAndSince(t *testing.T) {
+	now := time.Now()
+	mk := func(id string, age time.Duration, status int) *Entry {
+		return &Entry{ID: id, Start: now.Add(-age), Endpoint: "experiment", Status: status}
+	}
+	entries := []*Entry{
+		mk("a", time.Hour, 200),
+		mk("b", time.Minute, 500),
+		mk("c", time.Second, 200),
+	}
+	if got := Filter(entries, Query{Since: now.Add(-5 * time.Minute)}); len(got) != 2 {
+		t.Errorf("since filter: got %d, want 2", len(got))
+	}
+	if got := Filter(entries, Query{Status: 500}); len(got) != 1 || got[0].ID != "b" {
+		t.Errorf("status filter wrong: %+v", got)
+	}
+	if got := Filter(entries, Query{Limit: 2}); len(got) != 2 || got[0].ID != "b" {
+		t.Errorf("limit keeps most recent: %+v", got)
+	}
+}
+
+func TestStageTotalsAndRender(t *testing.T) {
+	e := &Entry{
+		ID: "r-1", Start: time.Unix(0, 0).UTC(), Endpoint: "experiment",
+		Target: "T2", Format: "json", Status: 200, Outcome: "miss", TotalUS: 100,
+		Spans: []*Span{{Name: "cache", StartUS: 0, DurUS: 90, Children: []*Span{
+			{Name: "admission-wait", StartUS: 1, DurUS: 2},
+			{Name: "engine", StartUS: 3, DurUS: 80},
+		}}},
+		Engine: &sim.EngineStats{Engines: 1, Cycles: 1234},
+	}
+	names, totals := e.StageTotals()
+	if len(names) != 3 || names[0] != "cache" || totals["engine"] != 80 {
+		t.Errorf("stage totals wrong: %v %v", names, totals)
+	}
+	var b bytes.Buffer
+	RenderEntries(&b, []*Entry{e})
+	out := b.String()
+	for _, want := range []string{"RUN", "r-1", "experiment", "T2?json", "miss", "1234"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLedgerIDsUnique: Begin hands out process-unique, ordered IDs.
+func TestLedgerIDsUnique(t *testing.T) {
+	l, _ := Open("", 0, 8)
+	a := l.Begin("x").Finish(200)
+	b := l.Begin("x").Finish(200)
+	if a.ID == b.ID || a.ID == "" {
+		t.Errorf("ids not unique: %q %q", a.ID, b.ID)
+	}
+	if !strings.Contains(a.ID, "-") || a.ID >= b.ID {
+		t.Errorf("ids not ordered: %q %q", a.ID, b.ID)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"armvirt/internal/runlog"
 )
 
 // Admission errors, mapped to HTTP statuses by the handlers.
@@ -75,21 +77,29 @@ func (a *Admission) Do(ctx context.Context, fn func() ([]byte, error)) ([]byte, 
 	a.mu.Unlock()
 	defer a.wg.Done()
 
+	// The admission-wait span covers time-to-slot (near zero on the fast
+	// path); a request context without a trace records nothing.
+	sp := runlog.TraceFrom(ctx).Start("admission-wait")
+
 	// Fast path: a free worker slot means no queueing at all. Only
 	// callers that actually have to wait count against the queue bound.
 	select {
 	case a.slots <- struct{}{}:
+		sp.End()
 	default:
 		if q := a.queued.Add(1); q > a.maxQueue {
 			a.queued.Add(-1)
 			a.rejectedQueue.Add(1)
+			sp.End()
 			return nil, ErrQueueFull
 		}
 		select {
 		case a.slots <- struct{}{}:
 			a.queued.Add(-1)
+			sp.End()
 		case <-ctx.Done():
 			a.queued.Add(-1)
+			sp.End()
 			return nil, ctx.Err()
 		}
 	}

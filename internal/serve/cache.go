@@ -38,7 +38,10 @@ func (o Outcome) String() string {
 type CacheStats struct {
 	Hits, Misses, Shared, Evictions int64
 	Entries                         int
-	Bytes, MaxBytes                 int64
+	// Inflight is the number of singleflight computations currently
+	// running (leaders with followers attached or not).
+	Inflight        int
+	Bytes, MaxBytes int64
 }
 
 // flight is one in-progress computation that concurrent identical
@@ -172,6 +175,6 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Shared: c.shared, Evictions: c.evictions,
-		Entries: len(c.items), Bytes: c.cur, MaxBytes: c.max,
+		Entries: len(c.items), Inflight: len(c.inflight), Bytes: c.cur, MaxBytes: c.max,
 	}
 }

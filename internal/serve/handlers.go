@@ -15,6 +15,8 @@ import (
 	"armvirt/internal/bench"
 	"armvirt/internal/core"
 	"armvirt/internal/micro"
+	"armvirt/internal/runlog"
+	"armvirt/internal/sim"
 )
 
 // statusRecorder captures the status code a handler writes so the
@@ -38,11 +40,22 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
-// instrument wraps one route: panic recovery (500, counted separately)
-// plus per-endpoint request counting and latency observation.
+// instrument wraps one route — the single instrumentation path every
+// request takes (routed endpoints at registration time, everything else
+// via the "other" fallback in Handler): panic recovery (500, counted
+// separately), per-endpoint request counting and latency observation,
+// and the run ledger — a trace is begun, carried in the request context
+// for handlers and the admission layer to add spans to, announced in the
+// X-Armvirt-Run response header, and appended as a ledger entry when the
+// request finishes.
 func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := s.lg.Begin(endpoint)
+		if id := tr.ID(); id != "" {
+			w.Header().Set("X-Armvirt-Run", id)
+		}
+		r = r.WithContext(runlog.WithTrace(r.Context(), tr))
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -50,29 +63,31 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.Handler {
 				if !sr.wrote {
 					http.Error(sr, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
 				}
+				tr.SetError(fmt.Errorf("handler panicked: %v", rec))
 				s.met.Record(endpoint, http.StatusInternalServerError, time.Since(start))
+				s.finishRun(tr, http.StatusInternalServerError)
 				return
 			}
 			s.met.Record(endpoint, sr.status, time.Since(start))
+			s.finishRun(tr, sr.status)
 		}()
 		fn(sr, r)
 	})
 }
 
-// instrumentMux routes through the mux; requests matching no route are
-// answered by the mux's own 404/405 handler and counted as "other".
-func (s *Server) instrumentMux() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		h, pattern := s.mux.Handler(r)
-		if pattern == "" {
-			start := time.Now()
-			sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-			h.ServeHTTP(sr, r)
-			s.met.Record("other", sr.status, time.Since(start))
-			return
-		}
-		s.mux.ServeHTTP(w, r)
-	})
+// finishRun completes a request's trace, feeds the per-stage latency
+// histograms from its span tree, and appends the entry to the ledger.
+func (s *Server) finishRun(tr *runlog.Trace, status int) {
+	e := tr.Finish(status)
+	if e == nil {
+		return
+	}
+	e.StudyHash = s.hash
+	names, totals := e.StageTotals()
+	for _, name := range names {
+		s.met.ObserveStage(name, totals[name])
+	}
+	s.lg.Append(e)
 }
 
 // pickFormat validates the request's ?format= against the allowed set,
@@ -98,7 +113,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.WritePrometheus(w, s.cache.Stats(), s.adm.Stats())
+	s.met.WritePrometheus(w, s.cache.Stats(), s.adm.Stats(), s.lg.Stats())
 }
 
 // handleExperiments lists the registry in order — no engine runs, so no
@@ -144,15 +159,26 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := runlog.TraceFrom(r.Context())
+	tr.SetTarget(id, format)
 	key := fmt.Sprintf("exp\x00%s\x00%s\x00%s", e.ID, s.hash, format)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	// The cache span covers the whole lookup: for a hit it is the lookup
+	// itself, for a singleflight follower the wait on the leader, and for
+	// the leader (miss) it encloses the admission-wait/engine/render
+	// spans the compute path adds — those land on this trace because the
+	// leader runs the closure on its own request goroutine.
+	sp := tr.Start("cache")
 	val, outcome, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
 		return s.adm.Do(ctx, func() ([]byte, error) {
-			return renderExperiment(s.runOne, *e, format)
+			return renderExperiment(tr, s.runOne, *e, format)
 		})
 	})
+	sp.End()
+	tr.SetOutcome(outcome.String())
 	if err != nil {
+		tr.SetError(err)
 		s.writeRunError(w, err)
 		return
 	}
@@ -168,12 +194,20 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // format: the paper-layout text, the full armvirt-report JSON shape
 // (identity + rows + text), or just the machine-readable rows. run is
 // core.RunOne in production, so a panicking experiment comes back as an
-// error (-> 500), never a crashed worker.
-func renderExperiment(run func(core.Experiment) core.Report, e core.Experiment, format string) ([]byte, error) {
-	rep := run(e)
+// error (-> 500), never a crashed worker. The engine and render stages
+// are traced separately, and every simulation engine the run builds is
+// collected into the trace's deterministic EngineStats snapshots.
+func renderExperiment(tr *runlog.Trace, run func(core.Experiment) core.Report, e core.Experiment, format string) ([]byte, error) {
+	sp := tr.Start("engine")
+	var rep core.Report
+	col := sim.CollectStats(func() { rep = run(e) })
+	sp.End()
+	tr.SetEngineStats(col.PerEngine())
 	if rep.Err != nil {
 		return nil, rep.Err
 	}
+	sp = tr.Start("render")
+	defer sp.End()
 	var buf bytes.Buffer
 	switch format {
 	case "json":
@@ -216,15 +250,21 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	tr := runlog.TraceFrom(r.Context())
+	tr.SetTarget(slug+"/"+op, format)
 	key := fmt.Sprintf("prof\x00%s\x00%s\x00%s\x00%s", label, op, s.hash, format)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	sp := tr.Start("cache")
 	val, outcome, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
 		return s.adm.Do(ctx, func() ([]byte, error) {
-			return renderProfile(label, op, format)
+			return renderProfile(tr, label, op, format)
 		})
 	})
+	sp.End()
+	tr.SetOutcome(outcome.String())
 	if err != nil {
+		tr.SetError(err)
 		s.writeRunError(w, err)
 		return
 	}
@@ -238,9 +278,19 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	s.writeCached(w, val, outcome)
 }
 
-// renderProfile profiles one (platform, op) unit and renders it.
-func renderProfile(label, op, format string) ([]byte, error) {
-	res := bench.RunPhaseBreakdowns([]string{label}, []string{op}, 1)
+// renderProfile profiles one (platform, op) unit and renders it, with
+// the same engine/render stage split and engine-stats collection as
+// renderExperiment.
+func renderProfile(tr *runlog.Trace, label, op, format string) ([]byte, error) {
+	sp := tr.Start("engine")
+	var res bench.PhaseBreakdownResult
+	col := sim.CollectStats(func() {
+		res = bench.RunPhaseBreakdowns([]string{label}, []string{op}, 1)
+	})
+	sp.End()
+	tr.SetEngineStats(col.PerEngine())
+	sp = tr.Start("render")
+	defer sp.End()
 	switch format {
 	case "folded":
 		return []byte(res.Folded()), nil

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"armvirt/internal/runlog"
 	"armvirt/internal/stats"
 )
 
@@ -19,6 +20,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[reqKey]int64
 	latency  map[string]*stats.Histogram // endpoint -> microseconds
+	stage    map[string]*stats.Histogram // request stage -> microseconds
 	panics   int64
 }
 
@@ -33,6 +35,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[reqKey]int64),
 		latency:  make(map[string]*stats.Histogram),
+		stage:    make(map[string]*stats.Histogram),
 	}
 }
 
@@ -58,13 +61,27 @@ func (m *Metrics) RecordPanic() {
 	m.mu.Unlock()
 }
 
+// ObserveStage records one request's time in a named wall-time stage
+// (admission-wait, cache, engine, render — the run-ledger span names),
+// feeding the per-stage latency histograms on /metrics.
+func (m *Metrics) ObserveStage(stage string, us int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stage[stage]
+	if h == nil {
+		h = stats.NewHistogram()
+		m.stage[stage] = h
+	}
+	h.Observe(us)
+}
+
 // latencyQuantiles are the quantiles exported per endpoint.
 var latencyQuantiles = []float64{0.50, 0.95, 0.99}
 
 // WritePrometheus renders every counter and gauge in Prometheus text
 // exposition format. Lines are emitted in sorted label order so
 // consecutive scrapes of an idle server are byte-identical.
-func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats) error {
+func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats, ls runlog.LedgerStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -112,6 +129,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats)
 	p("# HELP armvirt_cache_max_bytes Configured cache byte budget.\n")
 	p("# TYPE armvirt_cache_max_bytes gauge\n")
 	p("armvirt_cache_max_bytes %d\n", cs.MaxBytes)
+	p("# HELP armvirt_cache_inflight Singleflight computations currently running.\n")
+	p("# TYPE armvirt_cache_inflight gauge\n")
+	p("armvirt_cache_inflight %d\n", cs.Inflight)
 
 	p("# HELP armvirt_engine_runs_total Experiment/profile engine runs admitted.\n")
 	p("# TYPE armvirt_engine_runs_total counter\n")
@@ -145,6 +165,41 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats)
 		p("armvirt_request_latency_us_sum{endpoint=%q} %d\n", ep, h.Sum())
 		p("armvirt_request_latency_us_count{endpoint=%q} %d\n", ep, h.N())
 	}
+
+	p("# HELP armvirt_stage_latency_us Per-stage request latency in microseconds (run-ledger span totals).\n")
+	p("# TYPE armvirt_stage_latency_us summary\n")
+	sts := make([]string, 0, len(m.stage))
+	for st := range m.stage {
+		sts = append(sts, st)
+	}
+	sort.Strings(sts)
+	for _, st := range sts {
+		h := m.stage[st]
+		for _, q := range latencyQuantiles {
+			p("armvirt_stage_latency_us{stage=%q,quantile=\"%g\"} %.0f\n", st, q, h.Quantile(q))
+		}
+		p("armvirt_stage_latency_us_sum{stage=%q} %d\n", st, h.Sum())
+		p("armvirt_stage_latency_us_count{stage=%q} %d\n", st, h.N())
+	}
+
+	p("# HELP armvirt_runlog_entries Run-ledger entries resident in memory.\n")
+	p("# TYPE armvirt_runlog_entries gauge\n")
+	p("armvirt_runlog_entries %d\n", ls.Entries)
+	p("# HELP armvirt_runlog_bytes Bytes written to the current ledger file generation.\n")
+	p("# TYPE armvirt_runlog_bytes gauge\n")
+	p("armvirt_runlog_bytes %d\n", ls.Bytes)
+	p("# HELP armvirt_runlog_max_bytes Configured ledger file byte cap (0 = memory-only).\n")
+	p("# TYPE armvirt_runlog_max_bytes gauge\n")
+	p("armvirt_runlog_max_bytes %d\n", ls.MaxBytes)
+	p("# HELP armvirt_runlog_appended_total Ledger entries appended since start.\n")
+	p("# TYPE armvirt_runlog_appended_total counter\n")
+	p("armvirt_runlog_appended_total %d\n", ls.Appended)
+	p("# HELP armvirt_runlog_dropped_total Ledger entries evicted from the in-memory ring.\n")
+	p("# TYPE armvirt_runlog_dropped_total counter\n")
+	p("armvirt_runlog_dropped_total %d\n", ls.Dropped)
+	p("# HELP armvirt_runlog_rotations_total Ledger file rotations under the byte cap.\n")
+	p("# TYPE armvirt_runlog_rotations_total counter\n")
+	p("armvirt_runlog_rotations_total %d\n", ls.Rotations)
 
 	_, err := w.Write(b)
 	return err

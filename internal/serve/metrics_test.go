@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"armvirt/internal/runlog"
 )
 
 func TestMetricsPrometheusRendering(t *testing.T) {
@@ -15,12 +17,18 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 	m.Record("healthz", 200, 5*time.Microsecond)
 	m.RecordPanic()
 
-	cs := CacheStats{Hits: 7, Misses: 3, Shared: 2, Evictions: 1, Entries: 2, Bytes: 512, MaxBytes: 1024}
+	m.ObserveStage("engine", 1400)
+	m.ObserveStage("engine", 2100)
+	m.ObserveStage("cache", 90)
+
+	cs := CacheStats{Hits: 7, Misses: 3, Shared: 2, Evictions: 1, Entries: 2, Inflight: 1, Bytes: 512, MaxBytes: 1024}
 	as := AdmissionStats{Workers: 4, QueueDepth: 8, Queued: 1, Running: 2,
 		Runs: 3, RejectedQueue: 5, RejectedDrain: 6}
+	ls := runlog.LedgerStats{Entries: 9, MaxEntries: 512, Bytes: 4096, MaxBytes: 1 << 20,
+		Appended: 11, Dropped: 2, Rotations: 1}
 
 	var buf bytes.Buffer
-	if err := m.WritePrometheus(&buf, cs, as); err != nil {
+	if err := m.WritePrometheus(&buf, cs, as, ls); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,6 +55,17 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 		`armvirt_request_latency_us{endpoint="experiment",quantile="0.99"}`,
 		`armvirt_request_latency_us_sum{endpoint="experiment"} 4010`,
 		`armvirt_request_latency_us_count{endpoint="experiment"} 3`,
+		"armvirt_cache_inflight 1",
+		`armvirt_stage_latency_us{stage="cache",quantile="0.5"}`,
+		`armvirt_stage_latency_us{stage="engine",quantile="0.99"}`,
+		`armvirt_stage_latency_us_sum{stage="engine"} 3500`,
+		`armvirt_stage_latency_us_count{stage="engine"} 2`,
+		"armvirt_runlog_entries 9",
+		"armvirt_runlog_bytes 4096",
+		"armvirt_runlog_max_bytes 1048576",
+		"armvirt_runlog_appended_total 11",
+		"armvirt_runlog_dropped_total 2",
+		"armvirt_runlog_rotations_total 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -67,7 +86,7 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 	// A second render with no new observations is byte-identical, so
 	// consecutive scrapes diff clean.
 	var again bytes.Buffer
-	if err := m.WritePrometheus(&again, cs, as); err != nil {
+	if err := m.WritePrometheus(&again, cs, as, ls); err != nil {
 		t.Fatal(err)
 	}
 	if out != again.String() {

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/runlog"
+)
+
+// defaultRunsLimit bounds a /v1/runs listing when the client gives no
+// ?limit= — recent history, not the whole ring.
+const defaultRunsLimit = 50
+
+// runsQuery builds a ledger query from the request's filter parameters.
+// Unparsable ?since= or ?limit= values are reported as 400s (ok=false).
+func runsQuery(w http.ResponseWriter, r *http.Request) (runlog.Query, bool) {
+	q := runlog.Query{
+		Endpoint: r.URL.Query().Get("endpoint"),
+		Target:   r.URL.Query().Get("experiment"),
+		Outcome:  r.URL.Query().Get("outcome"),
+		Limit:    defaultRunsLimit,
+	}
+	if v := r.URL.Query().Get("status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad status %q: want an HTTP status code", v), http.StatusBadRequest)
+			return q, false
+		}
+		q.Status = n
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since %q: want a duration like 5m", v), http.StatusBadRequest)
+			return q, false
+		}
+		q.Since = time.Now().Add(-d)
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad limit %q: want a positive integer", v), http.StatusBadRequest)
+			return q, false
+		}
+		q.Limit = n
+	}
+	return q, true
+}
+
+// handleRuns lists recent ledger entries, newest first, filterable by
+// ?experiment= (the run target), ?endpoint=, ?status=, ?outcome=, and
+// ?since=<duration>; ?limit= bounds the count (default 50).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	format, ok := pickFormat(w, r, "text", "json")
+	if !ok {
+		return
+	}
+	q, ok := runsQuery(w, r)
+	if !ok {
+		return
+	}
+	entries := s.lg.Recent(q)
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		bench.WriteJSON(w, entries)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	runlog.RenderEntries(w, entries)
+}
+
+// handleRun returns one ledger entry in full — identity, outcome, the
+// wall-time span tree, and the deterministic engine-stats snapshots.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.lg.Get(id)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown run %q (GET /v1/runs for recent runs)", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	bench.WriteJSON(w, e)
+}
+
+// handleRunTrace renders one run as Chrome trace-event JSON — wall-clock
+// spans and simulated time as separate track groups — loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.lg.Get(id)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown run %q (GET /v1/runs for recent runs)", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".trace.json"))
+	runlog.WriteChromeTrace(w, e)
+}

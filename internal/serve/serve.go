@@ -40,6 +40,7 @@ import (
 	"armvirt/internal/bench"
 	"armvirt/internal/core"
 	"armvirt/internal/obs"
+	"armvirt/internal/runlog"
 )
 
 // Config sizes the server; zero values pick the documented defaults.
@@ -55,6 +56,10 @@ type Config struct {
 	// identical run (default 60s). A run that has started always
 	// completes and is cached for the next request.
 	Timeout time.Duration
+	// Ledger is the run ledger every request is recorded into. Nil means
+	// a memory-only ledger with runlog's default ring size; pass a
+	// file-backed one (runlog.Open) to persist runs across the process.
+	Ledger *runlog.Ledger
 }
 
 func (c Config) withDefaults() Config {
@@ -80,8 +85,13 @@ type Server struct {
 	cache *Cache
 	adm   *Admission
 	met   *Metrics
+	lg    *runlog.Ledger
 	hash  string
 	mux   *http.ServeMux
+
+	// fallback instruments requests matching no route, so every request
+	// — routed or not — goes through the single instrument code path.
+	fallback http.Handler
 
 	// runOne executes one experiment; tests substitute it to model slow
 	// or failing runs without touching the registry.
@@ -95,11 +105,16 @@ type Server struct {
 // New builds a server from cfg (zero-value fields take defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	lg := cfg.Ledger
+	if lg == nil {
+		lg, _ = runlog.Open("", 0, 0) // memory-only open cannot fail
+	}
 	s := &Server{
 		cfg:            cfg,
 		cache:          NewCache(cfg.CacheBytes),
 		adm:            NewAdmission(cfg.Workers, cfg.QueueDepth),
 		met:            NewMetrics(),
+		lg:             lg,
 		hash:           studyHash(),
 		runOne:         core.RunOne,
 		platformBySlug: make(map[string]string),
@@ -113,13 +128,28 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.Handle("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
 	s.mux.Handle("GET /v1/profile/{platform}/{op}", s.instrument("profile", s.handleProfile))
+	s.mux.Handle("GET /v1/runs", s.instrument("runs", s.handleRuns))
+	s.mux.Handle("GET /v1/runs/{id}", s.instrument("run", s.handleRun))
+	s.mux.Handle("GET /v1/runs/{id}/trace", s.instrument("runtrace", s.handleRunTrace))
+	s.fallback = s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
+		s.mux.ServeHTTP(w, r) // the mux's own 404/405 answer, instrumented
+	})
 	return s
 }
 
-// Handler returns the server's HTTP handler (instrumented routes plus a
-// counted 404 fallback).
+// Handler returns the server's HTTP handler. Routed requests are
+// instrumented per endpoint at registration time; everything else goes
+// through the same instrument wrapper under the "other" endpoint, so
+// request counting, latency, tracing, and the run ledger have exactly
+// one code path.
 func (s *Server) Handler() http.Handler {
-	return s.instrumentMux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := s.mux.Handler(r); pattern == "" {
+			s.fallback.ServeHTTP(w, r)
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
 }
 
 // Drain stops admitting new engine runs and blocks until the admitted

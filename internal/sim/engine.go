@@ -110,14 +110,26 @@ type Engine struct {
 	stopped     bool
 	tracer      func(t Time, what string)
 	procTap     func(t Time, what, name string)
+
+	// Work counters behind Stats(). They are driven exclusively by the
+	// deterministic event sequence (pushes, pops, handoffs, spawns), so
+	// their values are part of a run's reproducible output.
+	statEvents   int64
+	statSwitches int64
+	statSpawned  int64
+	statHeapHW   int
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
+// If a StatsCollector is bound to the calling goroutine (see
+// CollectStats), the engine registers with it.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		done:  make(chan struct{}, 1),
 		procs: make(map[*Proc]struct{}),
 	}
+	attachToBoundCollector(e)
+	return e
 }
 
 // Now returns the current virtual time.
@@ -153,6 +165,7 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	e.noteHeapDepth()
 }
 
 // After schedules fn to run d cycles from now.
@@ -168,6 +181,14 @@ func (e *Engine) wakeAt(t Time, w *waiter) {
 	}
 	e.seq++
 	e.queue.push(event{at: t, seq: e.seq, w: w, gen: w.gen})
+	e.noteHeapDepth()
+}
+
+// noteHeapDepth tracks the event heap's high-water mark after a push.
+func (e *Engine) noteHeapDepth() {
+	if n := len(e.queue); n > e.statHeapHW {
+		e.statHeapHW = n
+	}
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -198,6 +219,7 @@ func (e *Engine) loop() int {
 			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.at))
 		}
 		e.now = ev.at
+		e.statEvents++
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -213,6 +235,7 @@ func (e *Engine) loop() int {
 			return loopSelf
 		}
 		e.running = p
+		e.statSwitches++
 		p.wake <- struct{}{}
 		return loopHandoff
 	}
@@ -272,6 +295,7 @@ func (e *Engine) spawn(t Time, name string, body func(p *Proc)) *Proc {
 	}
 	p.w.p = p
 	e.procs[p] = struct{}{}
+	e.statSpawned++
 	go func() {
 		<-p.wake // wait for first dispatch
 		e.noteProc("start", p)

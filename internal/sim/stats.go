@@ -1,0 +1,210 @@
+// Engine work accounting. Every engine counts the work it dispatches —
+// events popped from the heap, goroutine handoffs between processes,
+// processes spawned, the event-heap high-water mark, and the final
+// virtual clock. All of it is driven by the deterministic event sequence,
+// so a run's EngineStats are as reproducible as its tables: identical on
+// every execution, at any parallelism level.
+//
+// StatsCollector gathers those counters across all the engines one
+// logical operation creates (an experiment builds one engine per platform
+// plus workload simulators). Attachment is by goroutine: CollectStats
+// binds a collector to the calling goroutine for the duration of a
+// function, and every NewEngine on a bound goroutine registers with the
+// bound collector. Worker pools that fan an operation out propagate the
+// binding with InheritStats, so collection survives the parallel runners
+// (core.RunAll, bench.RunPhaseBreakdowns) unchanged.
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// EngineStats is a deterministic snapshot of engine work counters. For a
+// single engine, Engines is 1 and HeapHighWater is that engine's peak
+// event-queue depth; merged snapshots sum everything except HeapHighWater,
+// which takes the maximum across engines.
+type EngineStats struct {
+	// Engines is the number of engines folded into this snapshot.
+	Engines int64 `json:"engines"`
+	// Events counts events dispatched by the engine loop (callbacks and
+	// process wakeups, including stale ones).
+	Events int64 `json:"events"`
+	// ProcSwitches counts control handoffs between process goroutines
+	// (self-wakeups cost no handoff and are not counted; see Engine).
+	ProcSwitches int64 `json:"proc_switches"`
+	// ProcsSpawned counts processes created with Go/GoAt.
+	ProcsSpawned int64 `json:"procs_spawned"`
+	// HeapHighWater is the peak event-heap depth observed.
+	HeapHighWater int64 `json:"heap_high_water"`
+	// Cycles is the engine's final virtual clock — total simulated cycles.
+	Cycles int64 `json:"cycles"`
+}
+
+// Merge folds o into s: counters sum, HeapHighWater takes the maximum.
+func (s *EngineStats) Merge(o EngineStats) {
+	s.Engines += o.Engines
+	s.Events += o.Events
+	s.ProcSwitches += o.ProcSwitches
+	s.ProcsSpawned += o.ProcsSpawned
+	if o.HeapHighWater > s.HeapHighWater {
+		s.HeapHighWater = o.HeapHighWater
+	}
+	s.Cycles += o.Cycles
+}
+
+// Stats returns the engine's work counters. Call it only after the engine
+// has gone idle (Run returned); reading mid-run from another goroutine is
+// a data race.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Engines:       1,
+		Events:        e.statEvents,
+		ProcSwitches:  e.statSwitches,
+		ProcsSpawned:  e.statSpawned,
+		HeapHighWater: int64(e.statHeapHW),
+		Cycles:        int64(e.now),
+	}
+}
+
+// StatsCollector accumulates the engines created by the goroutines it is
+// bound to. Safe for concurrent attachment; snapshot only after the
+// collected engines have quiesced.
+type StatsCollector struct {
+	mu      sync.Mutex
+	engines []*Engine
+}
+
+// NewStatsCollector returns an empty collector. Bind it to a goroutine
+// with Bind (or use the CollectStats convenience wrapper).
+func NewStatsCollector() *StatsCollector { return &StatsCollector{} }
+
+func (c *StatsCollector) attach(e *Engine) {
+	c.mu.Lock()
+	c.engines = append(c.engines, e)
+	c.mu.Unlock()
+}
+
+// Snapshot merges the stats of every collected engine. HeapHighWater is
+// the maximum across engines; everything else sums. The result is
+// independent of engine-creation order, so it is byte-identical across
+// parallelism levels of the runners that propagate the binding.
+func (c *StatsCollector) Snapshot() EngineStats {
+	var total EngineStats
+	for _, s := range c.PerEngine() {
+		total.Merge(s)
+	}
+	return total
+}
+
+// PerEngine returns each collected engine's stats in creation order.
+// Creation order is deterministic for serial runs; under a parallel
+// runner only the multiset (and therefore Snapshot) is stable.
+func (c *StatsCollector) PerEngine() []EngineStats {
+	c.mu.Lock()
+	engines := make([]*Engine, len(c.engines))
+	copy(engines, c.engines)
+	c.mu.Unlock()
+	out := make([]EngineStats, len(engines))
+	for i, e := range engines {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// boundCollectors maps goroutine id -> the collector bound to it. Bindings
+// are strictly scoped (Bind returns the detach that restores the previous
+// binding), so the map stays small: one entry per goroutine currently
+// inside a CollectStats region.
+var boundCollectors struct {
+	mu sync.Mutex
+	m  map[uint64]*StatsCollector
+}
+
+// goid returns the calling goroutine's id, parsed from the runtime.Stack
+// header ("goroutine N [...]"). The id never reaches simulation output —
+// it is purely a registry key — so determinism is unaffected.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// attachToBoundCollector registers e with the collector bound to the
+// calling goroutine, if any. Called by NewEngine.
+func attachToBoundCollector(e *Engine) {
+	g := goid()
+	boundCollectors.mu.Lock()
+	c := boundCollectors.m[g]
+	boundCollectors.mu.Unlock()
+	if c != nil {
+		c.attach(e)
+	}
+}
+
+// Bind attaches c to the calling goroutine: every NewEngine on this
+// goroutine registers with c until the returned detach runs. Bindings
+// nest; detach restores the previous one. A nil receiver binds nothing
+// and returns a no-op detach.
+func (c *StatsCollector) Bind() (detach func()) {
+	if c == nil {
+		return func() {}
+	}
+	g := goid()
+	boundCollectors.mu.Lock()
+	if boundCollectors.m == nil {
+		boundCollectors.m = make(map[uint64]*StatsCollector)
+	}
+	prev, hadPrev := boundCollectors.m[g]
+	boundCollectors.m[g] = c
+	boundCollectors.mu.Unlock()
+	return func() {
+		boundCollectors.mu.Lock()
+		if hadPrev {
+			boundCollectors.m[g] = prev
+		} else {
+			delete(boundCollectors.m, g)
+		}
+		boundCollectors.mu.Unlock()
+	}
+}
+
+// InheritStats captures the collector bound to the calling goroutine and
+// returns a bind function for a spawned worker goroutine to call at its
+// top; bind returns the worker's detach. With no collector bound, both
+// are no-ops. Worker pools use this so engines created on their workers
+// still register with the spawning request's collector:
+//
+//	bind := sim.InheritStats()
+//	go func() {
+//		detach := bind()
+//		defer detach()
+//		...
+//	}()
+func InheritStats() (bind func() (detach func())) {
+	g := goid()
+	boundCollectors.mu.Lock()
+	c := boundCollectors.m[g]
+	boundCollectors.mu.Unlock()
+	return func() func() { return c.Bind() }
+}
+
+// CollectStats runs fn with a fresh collector bound to the calling
+// goroutine and returns the collector. Every engine fn creates — directly
+// or on worker goroutines that propagate the binding with InheritStats —
+// is collected.
+func CollectStats(fn func()) *StatsCollector {
+	c := NewStatsCollector()
+	detach := c.Bind()
+	defer detach()
+	fn()
+	return c
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// runSmallSim drives a deterministic two-process simulation on a fresh
+// engine and returns the engine.
+func runSmallSim() *Engine {
+	e := NewEngine()
+	q := NewQueue[int](e, "q")
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(5)
+			q.Send(i)
+		}
+	})
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			q.Recv(p)
+			p.Sleep(3)
+		}
+	})
+	e.Run()
+	return e
+}
+
+func TestEngineStatsCounters(t *testing.T) {
+	e := runSmallSim()
+	s := e.Stats()
+	if s.Engines != 1 {
+		t.Errorf("Engines = %d, want 1", s.Engines)
+	}
+	if s.Events == 0 {
+		t.Error("Events = 0, want > 0 after a run")
+	}
+	if s.ProcsSpawned != 2 {
+		t.Errorf("ProcsSpawned = %d, want 2", s.ProcsSpawned)
+	}
+	if s.ProcSwitches == 0 {
+		t.Error("ProcSwitches = 0, want > 0 (producer and consumer hand off)")
+	}
+	if s.HeapHighWater < 2 {
+		t.Errorf("HeapHighWater = %d, want >= 2", s.HeapHighWater)
+	}
+	if s.Cycles != int64(e.Now()) {
+		t.Errorf("Cycles = %d, want final clock %d", s.Cycles, e.Now())
+	}
+}
+
+// TestEngineStatsDeterministic: two identical runs produce identical
+// counters — EngineStats are part of the reproducible output surface.
+func TestEngineStatsDeterministic(t *testing.T) {
+	a := runSmallSim().Stats()
+	b := runSmallSim().Stats()
+	if a != b {
+		t.Errorf("stats differ across identical runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestStatsCollectorCollects(t *testing.T) {
+	c := CollectStats(func() {
+		runSmallSim()
+		runSmallSim()
+	})
+	per := c.PerEngine()
+	if len(per) != 2 {
+		t.Fatalf("collected %d engines, want 2", len(per))
+	}
+	if per[0] != per[1] {
+		t.Errorf("identical runs collected different stats: %+v vs %+v", per[0], per[1])
+	}
+	total := c.Snapshot()
+	if total.Engines != 2 || total.Events != per[0].Events*2 {
+		t.Errorf("snapshot %+v does not sum per-engine stats %+v", total, per[0])
+	}
+	if total.HeapHighWater != per[0].HeapHighWater {
+		t.Errorf("HeapHighWater = %d, want max %d, not sum", total.HeapHighWater, per[0].HeapHighWater)
+	}
+}
+
+// TestCollectorScoping: engines created outside the collect region, or on
+// an unbound goroutine, are not collected; nested bindings restore.
+func TestCollectorScoping(t *testing.T) {
+	runSmallSim() // unbound: collected nowhere
+	outer := NewStatsCollector()
+	detach := outer.Bind()
+	runSmallSim()
+	inner := CollectStats(func() { runSmallSim() }) // nested: shadows outer
+	runSmallSim()
+	detach()
+	runSmallSim() // after detach: collected nowhere
+
+	if n := len(outer.PerEngine()); n != 2 {
+		t.Errorf("outer collected %d engines, want 2", n)
+	}
+	if n := len(inner.PerEngine()); n != 1 {
+		t.Errorf("inner collected %d engines, want 1", n)
+	}
+}
+
+// TestInheritStatsPropagatesToWorkers: the worker-pool idiom carries the
+// caller's binding onto spawned goroutines.
+func TestInheritStatsPropagatesToWorkers(t *testing.T) {
+	c := NewStatsCollector()
+	detach := c.Bind()
+	defer detach()
+
+	bind := InheritStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := bind()
+			defer d()
+			runSmallSim()
+		}()
+	}
+	wg.Wait()
+	if n := len(c.PerEngine()); n != 4 {
+		t.Errorf("collected %d engines from workers, want 4", n)
+	}
+	total := c.Snapshot()
+	one := runSmallSim().Stats()
+	want := EngineStats{
+		Engines: 4, Events: one.Events * 4, ProcSwitches: one.ProcSwitches * 4,
+		ProcsSpawned: one.ProcsSpawned * 4, HeapHighWater: one.HeapHighWater,
+		Cycles: one.Cycles * 4,
+	}
+	if total != want {
+		t.Errorf("snapshot across workers = %+v, want %+v", total, want)
+	}
+}
+
+// TestInheritStatsNoBinding: inheriting with nothing bound is a no-op.
+func TestInheritStatsNoBinding(t *testing.T) {
+	bind := InheritStats()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d := bind()
+		defer d()
+		runSmallSim()
+	}()
+	<-done
+}
