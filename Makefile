@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench report-diff prof-determinism bench-smoke serve-smoke ci
+.PHONY: all build test race vet lint fmt-check bench report-diff prof-determinism par-determinism bench-smoke bench-json serve-smoke ci
 
 all: build test
 
@@ -43,8 +43,37 @@ prof-determinism:
 	/tmp/armvirt-prof -j 4 -folded > /tmp/prof-parallel.folded
 	diff -u /tmp/prof-serial.folded /tmp/prof-parallel.folded
 
+# par-determinism checks the parallel engine's byte-identity contract end
+# to end: the full report JSON and the folded profiler stacks must not
+# change one byte between -par 1 (sequential windows) and -par $(NPROC)
+# (one host worker per partition, capped by the machine).
+NPROC ?= $(shell nproc 2>/dev/null || echo 4)
+par-determinism:
+	$(GO) build -o /tmp/armvirt-report ./cmd/armvirt-report
+	$(GO) build -o /tmp/armvirt-prof ./cmd/armvirt-prof
+	/tmp/armvirt-report -json -par 1 > /tmp/report-par1.json
+	/tmp/armvirt-report -json -par $(NPROC) > /tmp/report-parN.json
+	diff -u /tmp/report-par1.json /tmp/report-parN.json
+	/tmp/armvirt-prof -folded -par 1 > /tmp/prof-par1.folded
+	/tmp/armvirt-prof -folded -par $(NPROC) > /tmp/prof-parN.folded
+	diff -u /tmp/prof-par1.folded /tmp/prof-parN.folded
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim
+
+# bench-json runs the perf-trajectory suite — the engine hot-path
+# microbenchmarks, the experiment-level worker pool (core.RunAll at j=1
+# vs j=NumCPU), and the PDES speedup benchmark (the 8-PCPU fleet at
+# -par 1/2/4) — and records it as BENCH_7.json via armvirt-benchjson
+# (host metadata + every result + derived par/j speedups). CI uploads
+# the file as an artifact; speedups only show on multi-core hosts.
+bench-json:
+	$(GO) build -o /tmp/armvirt-benchjson ./cmd/armvirt-benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim > /tmp/bench-engine.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkRunAll' -benchtime 1x ./internal/core > /tmp/bench-runall.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 5x ./internal/workload > /tmp/bench-fleet.txt
+	/tmp/armvirt-benchjson -out BENCH_7.json /tmp/bench-engine.txt /tmp/bench-runall.txt /tmp/bench-fleet.txt
+	@echo "wrote BENCH_7.json"
 
 # serve-smoke boots the armvirt-serve daemon, waits for /healthz, then
 # checks the cache-correctness contract end to end: a cold (fresh-run)
@@ -80,4 +109,4 @@ serve-smoke:
 	/tmp/armvirt-runs -experiment T2 -status 200 /tmp/serve-ledger.jsonl | grep -q "$$run"; \
 	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; run ledger + trace valid; graceful drain)"
 
-ci: fmt-check lint build race report-diff prof-determinism bench-smoke serve-smoke
+ci: fmt-check lint build race report-diff prof-determinism par-determinism bench-smoke bench-json serve-smoke

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: armvirt/internal/workload
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetSpeedup/par=1-4         	       5	  30462421 ns/op
+BenchmarkFleetSpeedup/par=2-4         	       5	  16123456 ns/op
+BenchmarkFleetSpeedup/par=4-4         	       5	  10154140 ns/op
+BenchmarkProcSwitch-4                 	35090541	        33.40 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRunAll/j=1-4                 	       1	 901234567 ns/op
+BenchmarkRunAll/j=4-4                 	       1	 300411522 ns/op
+PASS
+`
+
+func TestParseAndDerive(t *testing.T) {
+	var doc Doc
+	if err := parse(strings.NewReader(sample), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPUModel, "Xeon") {
+		t.Fatalf("header metadata not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(doc.Benchmarks))
+	}
+	ps := doc.Benchmarks[3]
+	if ps.Name != "BenchmarkProcSwitch" || ps.NsPerOp != 33.40 {
+		t.Fatalf("ProcSwitch parsed wrong: %+v", ps)
+	}
+	if ps.BytesPerOp == nil || *ps.BytesPerOp != 0 || ps.AllocsPerOp == nil || *ps.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields parsed wrong: %+v", ps)
+	}
+
+	sp := derive(doc.Benchmarks)
+	if len(sp) != 3 {
+		t.Fatalf("derived %d speedups, want 3 (par=2, par=4, j=4): %+v", len(sp), sp)
+	}
+	byName := map[string]Speedup{}
+	for _, s := range sp {
+		byName[s.Name] = s
+	}
+	par4 := byName["BenchmarkFleetSpeedup/par=4"]
+	if par4.Base != "BenchmarkFleetSpeedup/par=1" || par4.Ratio != 3.0 {
+		t.Fatalf("par=4 speedup wrong: %+v", par4)
+	}
+	j4 := byName["BenchmarkRunAll/j=4"]
+	if j4.Base != "BenchmarkRunAll/j=1" || j4.Ratio != 3.0 {
+		t.Fatalf("j=4 speedup wrong: %+v", j4)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo-8",
+		"Benchmarking is fun",
+		"BenchmarkFoo-8 12 34 MB/s",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestSplitKnob(t *testing.T) {
+	cases := []struct {
+		name       string
+		stem, knob string
+		n          int
+		ok         bool
+	}{
+		{"BenchmarkFleetSpeedup/par=4", "BenchmarkFleetSpeedup", "par", 4, true},
+		{"BenchmarkRunAll/j=1", "BenchmarkRunAll", "j", 1, true},
+		{"BenchmarkRunAll/j=1#01", "", "", 0, false},
+		{"BenchmarkPlain", "", "", 0, false},
+		{"BenchmarkX/size=4", "", "", 0, false},
+	}
+	for _, c := range cases {
+		stem, knob, n, ok := splitKnob(c.name)
+		if stem != c.stem || knob != c.knob || n != c.n || ok != c.ok {
+			t.Fatalf("splitKnob(%q) = %q, %q, %d, %v; want %q, %q, %d, %v",
+				c.name, stem, knob, n, ok, c.stem, c.knob, c.n, c.ok)
+		}
+	}
+}

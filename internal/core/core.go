@@ -97,6 +97,8 @@ func Experiments() []Experiment {
 			func() Result { return bench.RunPhaseBreakdowns(nil, nil, 1) }},
 		{"R1", "Robustness — Calibration Sensitivity", Validation,
 			func() Result { return bench.RunSensitivity(40, 0.20, 1) }},
+		{"PD1", "Extension — Partitioned-Engine Fleet", Extension,
+			func() Result { return bench.RunFleet() }},
 	}
 }
 

@@ -105,7 +105,11 @@ func TestReportJSONShape(t *testing.T) {
 // BenchmarkRunAll prices the full study at serial and full-machine
 // parallelism; the ratio is the wall-clock win of the worker pool.
 func BenchmarkRunAll(b *testing.B) {
-	for _, j := range []int{1, runtime.NumCPU()} {
+	levels := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		levels = append(levels, n)
+	}
+	for _, j := range levels {
 		b.Run("j="+strconv.Itoa(j), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				RunAll(context.Background(), j)

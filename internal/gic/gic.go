@@ -73,12 +73,31 @@ type Distributor struct {
 	// Rec, when non-nil, receives a PhysIRQ event for every delivery the
 	// distributor hands to a CPU (set via hw.Machine.SetRecorder).
 	Rec *obs.Recorder
+	// PartOf, when non-nil, maps a CPU to its engine partition: the
+	// machine runs on a partitioned engine (conservative parallel
+	// simulation) and every delivery is routed as a cross-partition
+	// message so it executes — and emits its PhysIRQ event — on the
+	// target CPU's partition. The wire latency must be >= the engine's
+	// lookahead (machines derive both from the cost model's IPIWire).
+	PartOf func(cpu int) sim.PartID
 }
 
 // deliver stamps the delivery for observability and hands it to the sink.
 func (d *Distributor) deliver(dv Delivery) {
 	d.Rec.Emit(d.eng.Now(), obs.PhysIRQ, dv.CPU, "", -1, dv.IRQ.Class(), int64(dv.IRQ))
 	d.sink(dv)
+}
+
+// send propagates a delivery to its target CPU after the wire latency,
+// routing it to the CPU's partition on a partitioned engine (SendTo is
+// After on the sender's own partition, so the unpartitioned path is
+// unchanged).
+func (d *Distributor) send(dv Delivery) {
+	if d.PartOf != nil {
+		d.eng.SendTo(d.PartOf(dv.CPU), d.wire, func() { d.deliver(dv) })
+		return
+	}
+	d.eng.After(d.wire, func() { d.deliver(dv) })
 }
 
 // NewDistributor creates a distributor for nCPU physical CPUs. Deliveries
@@ -126,7 +145,7 @@ func (d *Distributor) SendSGI(to int, irq IRQ) {
 		panic(fmt.Sprintf("gic: SendSGI with %v (%s)", irq, irq.Class()))
 	}
 	d.checkCPU(to)
-	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: to, IRQ: irq}) })
+	d.send(Delivery{CPU: to, IRQ: irq})
 }
 
 // RaisePPI delivers a private peripheral interrupt (e.g. a timer) to its CPU.
@@ -135,7 +154,7 @@ func (d *Distributor) RaisePPI(cpu int, irq IRQ) {
 		panic(fmt.Sprintf("gic: RaisePPI with %v (%s)", irq, irq.Class()))
 	}
 	d.checkCPU(cpu)
-	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: cpu, IRQ: irq}) })
+	d.send(Delivery{CPU: cpu, IRQ: irq})
 }
 
 // RaiseSPI delivers a shared peripheral interrupt (e.g. the NIC) to its
@@ -147,8 +166,7 @@ func (d *Distributor) RaiseSPI(irq IRQ) {
 	if !d.enable[irq] {
 		return
 	}
-	cpu := d.target[irq]
-	d.eng.After(d.wire, func() { d.deliver(Delivery{CPU: cpu, IRQ: irq}) })
+	d.send(Delivery{CPU: d.target[irq], IRQ: irq})
 }
 
 func (d *Distributor) checkCPU(cpu int) {

@@ -45,6 +45,13 @@ type Config struct {
 	VAPIC bool
 	// TLBCapacity sizes the Stage-2 TLB model (default 512).
 	TLBCapacity int
+	// PartitionPerCPU places each physical CPU on its own engine
+	// partition (partition 0 keeps shared devices), turning the machine
+	// into a conservative parallel simulation. The engine's lookahead is
+	// the cost model's IPI wire latency — the minimum delay of any
+	// cross-CPU interaction — so results are byte-identical to the
+	// single-partition machine at every worker count.
+	PartitionPerCPU bool
 }
 
 // Machine is a simulated server.
@@ -63,6 +70,9 @@ type Machine struct {
 	// records nothing. Attach one with SetRecorder before running
 	// experiments.
 	Rec *obs.Recorder
+	// partitioned records that New placed each CPU on its own engine
+	// partition (Config.PartitionPerCPU).
+	partitioned bool
 }
 
 // New builds a machine per cfg.
@@ -95,6 +105,13 @@ func New(cfg Config) *Machine {
 		TLB:   mem.NewTLB(tlbCap),
 		VAPIC: cfg.VAPIC,
 	}
+	if cfg.PartitionPerCPU {
+		eng.SetLookahead(sim.Time(cfg.Cost.IPIWire))
+		for i := 0; i < cfg.NCPU; i++ {
+			eng.AddPartition(fmt.Sprintf("pcpu%d", i))
+		}
+		m.partitioned = true
+	}
 	for i := 0; i < cfg.NCPU; i++ {
 		c := &CPU{
 			P:   cpu.NewPCPU(cfg.Arch, i),
@@ -112,8 +129,26 @@ func New(cfg Config) *Machine {
 		m.Dist = gic.NewDistributor(eng, cfg.NCPU, sim.Time(cfg.Cost.IPIWire), func(d gic.Delivery) {
 			m.CPUs[d.CPU].IRQ.Send(d)
 		})
+		if m.partitioned {
+			m.Dist.PartOf = m.PartOf
+		}
 	}
 	return m
+}
+
+// Partitioned reports whether each CPU lives on its own engine partition
+// (Config.PartitionPerCPU).
+func (m *Machine) Partitioned() bool { return m.partitioned }
+
+// PartOf returns the engine partition physical CPU cpu lives on: pcpu i is
+// partition i+1 on a partitioned machine (partition 0 holds shared
+// devices), and everything is partition 0 otherwise. Fibers modelling work
+// on a CPU must be spawned with Eng.GoOn on this partition.
+func (m *Machine) PartOf(cpu int) sim.PartID {
+	if !m.partitioned {
+		return 0
+	}
+	return sim.PartID(cpu + 1)
 }
 
 // NCPU returns the physical core count.
@@ -131,6 +166,21 @@ func (m *Machine) SetRecorder(r *obs.Recorder) {
 	}
 	if r == nil {
 		m.Eng.SetProcTap(nil)
+		m.Eng.SetProcTapPart(nil)
+		return
+	}
+	if m.partitioned {
+		// Mirror the engine layout into the recorder so each partition
+		// owns an event cursor: pcpu i's events land on partition i+1,
+		// everything else on the shared partition 0.
+		cpuPart := make([]int, len(m.CPUs))
+		for i := range cpuPart {
+			cpuPart[i] = i + 1
+		}
+		r.Partition(len(m.CPUs)+1, cpuPart)
+		m.Eng.SetProcTapPart(func(t sim.Time, part sim.PartID, what, name string) {
+			r.EmitPart(t, int(part), obs.ProcEvent, -1, "", -1, what+" "+name, 0)
+		})
 		return
 	}
 	m.Eng.SetProcTap(func(t sim.Time, what, name string) {
@@ -149,7 +199,7 @@ func (m *Machine) SendIPI(p *sim.Proc, to int, irq gic.IRQ) {
 		m.Dist.SendSGI(to, irq)
 		return
 	}
-	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+	m.Eng.SendTo(m.PartOf(to), sim.Time(m.Cost.IPIWire), func() {
 		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, to, "", -1, "IPI", int64(irq))
 		m.CPUs[to].IRQ.Send(gic.Delivery{CPU: to, IRQ: irq})
 	})
@@ -165,7 +215,7 @@ func (m *Machine) RaiseDeviceIRQ(irq gic.IRQ, target int) {
 		m.Dist.RaiseSPI(irq)
 		return
 	}
-	m.Eng.After(sim.Time(m.Cost.IPIWire), func() {
+	m.Eng.SendTo(m.PartOf(target), sim.Time(m.Cost.IPIWire), func() {
 		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, target, "", -1, "MSI", int64(irq))
 		m.CPUs[target].IRQ.Send(gic.Delivery{CPU: target, IRQ: irq})
 	})

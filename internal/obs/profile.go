@@ -204,19 +204,36 @@ func (pf *Profile) Folded() string { return Folded(pf.Entries()) }
 
 // --- Recorder span API -------------------------------------------------------
 
-// profState is the Recorder's profiling half: the shared tree plus one open
+// profState is one partition's profiling half: a span tree plus one open
 // span stack per simulated process. It is created lazily on first use so
-// recorders used purely as event buses pay nothing.
+// recorders used purely as event buses pay nothing. A single-partition
+// recorder has exactly one; a partitioned recorder keeps one per
+// partition, because fibers on concurrently executing partitions must
+// never mutate a shared tree.
 type profState struct {
 	prof  *Profile
 	spans map[*sim.Proc][]*pnode
 }
 
-func (r *Recorder) prof() *profState {
-	if r.profiling == nil {
-		r.profiling = &profState{prof: NewProfile(), spans: map[*sim.Proc][]*pnode{}}
+// partOfProc returns the profiling partition for process p: its engine
+// partition, clamped into the recorder's layout (a process of an
+// unpartitioned machine is partition 0 either way).
+func (r *Recorder) partOfProc(p *sim.Proc) int {
+	if r == nil || r.nparts == 1 || p == nil {
+		return 0
 	}
-	return r.profiling
+	part := int(p.Part())
+	if part < 0 || part >= r.nparts {
+		return 0
+	}
+	return part
+}
+
+func (r *Recorder) prof(part int) *profState {
+	if r.profiling[part] == nil {
+		r.profiling[part] = &profState{prof: NewProfile(), spans: map[*sim.Proc][]*pnode{}}
+	}
+	return r.profiling[part]
 }
 
 // cursor returns the node new charges attach to for process p: the top of
@@ -236,18 +253,22 @@ func (r *Recorder) Span(p *sim.Proc, name string) {
 	if r == nil {
 		return
 	}
-	ps := r.prof()
+	ps := r.prof(r.partOfProc(p))
 	ps.spans[p] = append(ps.spans[p], ps.cursor(p).child(ps.prof.slug(name)))
 }
 
 // EndSpan closes process p's innermost open phase. Closing with no open
 // phase is a lenient no-op (teardown paths may outlive their opener).
 func (r *Recorder) EndSpan(p *sim.Proc) {
-	if r == nil || r.profiling == nil {
+	if r == nil {
 		return
 	}
-	if st := r.profiling.spans[p]; len(st) > 0 {
-		r.profiling.spans[p] = st[:len(st)-1]
+	ps := r.profiling[r.partOfProc(p)]
+	if ps == nil {
+		return
+	}
+	if st := ps.spans[p]; len(st) > 0 {
+		ps.spans[p] = st[:len(st)-1]
 	}
 }
 
@@ -259,25 +280,55 @@ func (r *Recorder) ChargeCycles(p *sim.Proc, name string, c int64) {
 	if r == nil || c <= 0 {
 		return
 	}
-	ps := r.prof()
+	ps := r.prof(r.partOfProc(p))
 	ps.cursor(p).child(ps.prof.slug(name)).self += c
 }
 
 // Profile returns the recorder's span tree (nil if nothing was ever
-// profiled on a nil recorder).
+// profiled on a nil recorder). On a single-partition recorder this is the
+// live tree. On a partitioned recorder it is a fresh merge of the
+// per-partition trees in partition order — a pure function of the
+// recorded content, byte-identical at every engine worker count.
 func (r *Recorder) Profile() *Profile {
 	if r == nil {
 		return nil
 	}
-	return r.prof().prof
+	if r.nparts == 1 {
+		return r.prof(0).prof
+	}
+	merged := NewProfile()
+	for part := 0; part < r.nparts; part++ {
+		ps := r.profiling[part]
+		if ps == nil {
+			continue
+		}
+		for _, e := range ps.prof.Entries() {
+			merged.addPath(e.Stack, e.Cycles)
+		}
+	}
+	return merged
+}
+
+// addPath accumulates cycles at the leaf addressed by the (already
+// slugged) stack, creating interior nodes in first-insertion order.
+func (pf *Profile) addPath(stack []string, cycles int64) {
+	n := pf.root
+	for _, frame := range stack {
+		n = n.child(frame)
+	}
+	n.self += cycles
 }
 
 // ResetProfile zeroes all attributed cycles while keeping tree structure
 // and open spans intact. Measurement harnesses call it after warm-up so
 // exports cover exactly the measured window.
 func (r *Recorder) ResetProfile() {
-	if r == nil || r.profiling == nil {
+	if r == nil {
 		return
 	}
-	r.profiling.prof.reset()
+	for _, ps := range r.profiling {
+		if ps != nil {
+			ps.prof.reset()
+		}
+	}
 }

@@ -109,6 +109,14 @@ func ARMMachine() *hw.Machine {
 	return hw.New(hw.Config{Arch: cpu.ARM, NCPU: NCPU, Cost: ARMCostModel()})
 }
 
+// ARMMachinePartitioned builds the simulated HP m400 with each physical
+// CPU on its own engine partition — a conservative parallel simulation
+// whose lookahead is the GIC wire latency. Results are byte-identical to
+// ARMMachine()'s at every worker count; only host wall time changes.
+func ARMMachinePartitioned() *hw.Machine {
+	return hw.New(hw.Config{Arch: cpu.ARM, NCPU: NCPU, Cost: ARMCostModel(), PartitionPerCPU: true})
+}
+
 // ARMMachineWithCost builds the ARM server with a modified hardware cost
 // model (for ablations).
 func ARMMachineWithCost(cm *cpu.CostModel) *hw.Machine {

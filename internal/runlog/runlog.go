@@ -72,6 +72,11 @@ type Entry struct {
 	// Outcome is the cache outcome ("hit", "miss", "shared") for routes
 	// that consult the result cache.
 	Outcome string `json:"outcome,omitempty"`
+	// Par is the engine worker count the request asked for (?par=N); 0
+	// means the default of 1. It never affects the response bytes — the
+	// parallel engine is deterministic — so it is not part of the cache
+	// key, only of this wall-time record.
+	Par int `json:"par,omitempty"`
 	// Error carries the run-path error for non-2xx answers.
 	Error string `json:"error,omitempty"`
 	// TotalUS is the request's total wall time in microseconds.
@@ -127,6 +132,16 @@ func (t *Trace) SetTarget(target, format string) {
 	}
 	t.mu.Lock()
 	t.entry.Target, t.entry.Format = target, format
+	t.mu.Unlock()
+}
+
+// SetPar records the engine worker count the request ran with.
+func (t *Trace) SetPar(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entry.Par = n
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestExperimentParKnob: ?par=N is accepted, never changes the response
+// bytes (the engine's determinism contract), and out-of-range values 400
+// before any engine runs. PD1 is the experiment that actually builds a
+// partitioned engine.
+func TestExperimentParKnob(t *testing.T) {
+	// Two servers with independent caches, so each par level really runs
+	// the engine rather than hitting the other's cached bytes.
+	run := func(par string) []byte {
+		s := New(Config{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		status, body, xc := get(t, ts, "/v1/experiments/PD1?format=rows&par="+par)
+		if status != http.StatusOK || xc != "miss" {
+			t.Fatalf("par=%s: status=%d X-Cache=%q", par, status, xc)
+		}
+		return body
+	}
+	if base, par4 := run("1"), run("4"); !bytes.Equal(base, par4) {
+		t.Fatalf("response bytes differ between par=1 and par=4:\n%s\nvs\n%s", base, par4)
+	}
+
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, bad := range []string{"0", "-3", "1025", "four"} {
+		status, body, _ := get(t, ts, "/v1/experiments/PD1?par="+bad)
+		if status != http.StatusBadRequest {
+			t.Fatalf("par=%s: status=%d body=%s, want 400", bad, status, body)
+		}
+	}
+}
+
+// TestRunLedgerRecordsPar: the ?par value lands in the run ledger entry.
+func TestRunLedgerRecordsPar(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/experiments/T2?format=rows&par=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Armvirt-Run")
+	if id == "" {
+		t.Fatal("no run id header")
+	}
+	e := s.lg.Get(id)
+	if e == nil {
+		t.Fatalf("run %q not in ledger", id)
+	}
+	if e.Par != 2 {
+		t.Fatalf("ledger entry Par = %d, want 2", e.Par)
+	}
+}

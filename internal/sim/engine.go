@@ -3,10 +3,15 @@
 //
 // The engine models virtual time in CPU cycles. Simulated activities run as
 // processes (fibers): ordinary Go functions executing on goroutines that are
-// scheduled cooperatively, one at a time, by the engine. Because exactly one
-// process runs at any instant and all ties in the event queue are broken by
+// scheduled cooperatively by the engine. Because processes within a
+// partition run one at a time and all ties in the event queue are broken by
 // a monotonic sequence number, a simulation produces identical results on
 // every run regardless of host scheduling.
+//
+// An engine is born with a single partition and behaves exactly like a
+// classic sequential event loop. AddPartition splits the simulation into
+// additional logical processes for conservative parallel execution
+// (partition.go); single-partition engines never touch that machinery.
 //
 // Processes advance time with Proc.Sleep, exchange data through Queue, and
 // coordinate through Cond and Resource. Plain callbacks can be scheduled
@@ -16,6 +21,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, measured in CPU cycles. All PCPUs in a
@@ -89,27 +96,34 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Engine owns the virtual clock and the event queue. The zero value is not
-// usable; construct with NewEngine.
-//
-// The engine loop migrates between goroutines: whichever goroutine parks
-// last continues dispatching events inline (continuation passing). A
-// process that wakes itself therefore costs no goroutine switch at all,
-// and waking another process costs one handoff instead of the two a
-// dedicated engine goroutine would need. Logical execution order is
-// unaffected: exactly one goroutine runs the loop at any instant.
-type Engine struct {
-	now         Time
-	seq         uint64
-	queue       eventHeap
-	running     *Proc         // proc whose goroutine owns the loop (nil = Run's caller)
-	done        chan struct{} // signals Run's caller when a proc's loop goes idle
-	deadline    Time
-	hasDeadline bool
-	procs       map[*Proc]struct{}
-	stopped     bool
-	tracer      func(t Time, what string)
-	procTap     func(t Time, what, name string)
+// PartID identifies one partition (logical process) of an engine. Partition
+// 0 always exists; AddPartition allocates the rest.
+type PartID int
+
+// shard is the per-partition half of the engine: a private clock, event
+// heap, continuation-passing dispatch state, and work counters. A
+// single-partition engine is exactly one shard (Engine.root), and every
+// hot-path method operates on a shard, so splitting the engine added no
+// work to the sequential fast path.
+type shard struct {
+	eng     *Engine
+	id      PartID
+	name    string
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running *Proc         // proc whose goroutine owns this shard's loop (nil = window owner)
+	done    chan struct{} // signals the window owner when the shard's loop goes idle
+	limit   Time          // inclusive dispatch bound for the current window / RunUntil
+	hasLim  bool
+	stopped bool
+	procs   map[*Proc]struct{}
+
+	// Cross-partition outbox: messages produced by this shard during a
+	// quantum window, drained by the coordinator at the barrier. sendSeq
+	// is the shard-local send order, part of the deterministic merge key.
+	outbox  []xmsg
+	sendSeq uint64
 
 	// Work counters behind Stats(). They are driven exclusively by the
 	// deterministic event sequence (pushes, pops, handoffs, spawns), so
@@ -120,23 +134,118 @@ type Engine struct {
 	statHeapHW   int
 }
 
-// NewEngine returns an engine with the clock at zero and an empty queue.
-// If a StatsCollector is bound to the calling goroutine (see
-// CollectStats), the engine registers with it.
+// xmsg is a timestamped inter-partition message. Messages are buffered in
+// the sender's outbox and applied at the next quantum barrier in the total
+// order (at, from, seq) — deterministic regardless of how many host
+// threads executed the window.
+type xmsg struct {
+	at   Time
+	from PartID
+	seq  uint64
+	to   PartID
+	fn   func()
+}
+
+// Engine owns the virtual clock(s) and event queue(s). The zero value is
+// not usable; construct with NewEngine.
+//
+// Within a partition the engine loop migrates between goroutines:
+// whichever goroutine parks last continues dispatching events inline
+// (continuation passing). A process that wakes itself therefore costs no
+// goroutine switch at all, and waking another process costs one handoff
+// instead of the two a dedicated engine goroutine would need. Logical
+// execution order is unaffected: exactly one goroutine runs a given
+// shard's loop at any instant.
+//
+// With more than one partition (AddPartition), Run executes the
+// conservative parallel algorithm in partition.go: lookahead-bounded
+// quantum windows in which partitions dispatch concurrently, separated by
+// barriers that exchange cross-partition messages in a deterministic
+// order. The algorithm is identical at every worker count, so output is
+// byte-identical from -par 1 to -par N.
+type Engine struct {
+	root  shard
+	parts []*shard // parts[0] == &root; more after AddPartition
+	multi bool     // len(parts) > 1
+
+	// lookahead is the minimum cross-partition latency: every SendTo
+	// delay must be >= lookahead, which is what makes a window of that
+	// width safe to dispatch without hearing from other partitions.
+	lookahead Time
+	// workers bounds the host goroutines dispatching windows (default:
+	// the parallelism bound to the creating goroutine, see
+	// BindParallelism). Only meaningful on multi-partition engines.
+	workers int
+	// shardOf maps goroutine id -> the shard it is executing (multi
+	// mode only): fiber goroutines for life, window workers per window.
+	shardOf sync.Map
+	// stopAll requests a full stop at the next quantum barrier.
+	stopAll atomic.Bool
+	// inRun is true while Run/RunUntil is executing (multi mode uses it
+	// to distinguish setup-time SendTo/GoOn from run-time calls).
+	inRun bool
+
+	tracer      func(t Time, what string)
+	procTap     func(t Time, what, name string)
+	procTapPart func(t Time, part PartID, what, name string)
+}
+
+// NewEngine returns an engine with the clock at zero, an empty queue, and
+// a single partition. If a StatsCollector is bound to the calling
+// goroutine (see CollectStats), the engine registers with it; the worker
+// count for multi-partition runs is taken from the goroutine's bound
+// parallelism (BindParallelism), defaulting to 1.
 func NewEngine() *Engine {
-	e := &Engine{
-		done:  make(chan struct{}, 1),
-		procs: make(map[*Proc]struct{}),
-	}
+	e := &Engine{workers: BoundParallelism()}
+	e.root.eng = e
+	e.root.id = 0
+	e.root.name = "shared"
+	e.root.done = make(chan struct{}, 1)
+	e.root.procs = make(map[*Proc]struct{})
+	e.parts = []*shard{&e.root}
 	attachToBoundCollector(e)
 	return e
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// cur resolves the shard the calling goroutine is executing. On a
+// single-partition engine this is always the root shard; on a
+// multi-partition engine fibers and window workers are registered in
+// shardOf, and unregistered goroutines (setup code, the Run caller)
+// resolve to partition 0.
+func (e *Engine) cur() *shard {
+	if !e.multi {
+		return &e.root
+	}
+	if v, ok := e.shardOf.Load(goid()); ok {
+		return v.(*shard)
+	}
+	return &e.root
+}
+
+// Now returns the current virtual time: the calling context's partition
+// clock while the simulation is running, or the furthest partition clock
+// (the machine's elapsed time) when called from outside.
+func (e *Engine) Now() Time {
+	if !e.multi {
+		return e.root.now
+	}
+	if v, ok := e.shardOf.Load(goid()); ok {
+		return v.(*shard).now
+	}
+	var t Time
+	for _, s := range e.parts {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
 
 // SetTracer installs a callback invoked for engine-level trace points
-// (process start/exit). Pass nil to disable.
+// (process start/exit). Pass nil to disable. On a multi-partition engine
+// the callback runs concurrently from window workers; prefer
+// SetProcTapPart, which identifies the partition so per-partition
+// consumers stay race-free.
 func (e *Engine) SetTracer(fn func(t Time, what string)) { e.tracer = fn }
 
 // SetProcTap installs a structured process-lifecycle tap: fn receives the
@@ -146,54 +255,85 @@ func (e *Engine) SetTracer(fn func(t Time, what string)) { e.tracer = fn }
 // events.
 func (e *Engine) SetProcTap(fn func(t Time, what, name string)) { e.procTap = fn }
 
-// noteProc reports a process-lifecycle event to both taps. The flat tracer
+// SetProcTapPart installs the partition-aware process-lifecycle tap used
+// on multi-partition engines: fn additionally receives the partition the
+// process belongs to, so consumers can keep per-partition cursors and stay
+// deterministic under parallel dispatch. When set, it takes precedence
+// over SetProcTap.
+func (e *Engine) SetProcTapPart(fn func(t Time, part PartID, what, name string)) {
+	e.procTapPart = fn
+}
+
+// noteProc reports a process-lifecycle event to the taps. The flat tracer
 // string stays "<what> <name>", which tests and tools depend on.
-func (e *Engine) noteProc(what string, p *Proc) {
+func (s *shard) noteProc(what string, p *Proc) {
+	e := s.eng
 	if e.tracer != nil {
-		e.tracer(e.now, what+" "+p.name)
+		e.tracer(s.now, what+" "+p.name)
+	}
+	if e.procTapPart != nil {
+		e.procTapPart(s.now, s.id, what, p.name)
+		return
 	}
 	if e.procTap != nil {
-		e.procTap(e.now, what, p.name)
+		e.procTap(s.now, what, p.name)
 	}
 }
 
-// At schedules fn to run at absolute time t (clamped to now). fn executes
-// inline in the engine loop and must not block or park.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+// at schedules fn on this shard at absolute time t (clamped to now).
+func (s *shard) at(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
 	}
-	e.seq++
-	e.queue.push(event{at: t, seq: e.seq, fn: fn})
-	e.noteHeapDepth()
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
+	s.noteHeapDepth()
 }
 
-// After schedules fn to run d cycles from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// At schedules fn to run at absolute time t (clamped to now) on the
+// calling context's partition. fn executes inline in the engine loop and
+// must not block or park.
+func (e *Engine) At(t Time, fn func()) { e.cur().at(t, fn) }
+
+// After schedules fn to run d cycles from now on the calling context's
+// partition.
+func (e *Engine) After(d Time, fn func()) {
+	s := e.cur()
+	s.at(s.now+d, fn)
+}
 
 // wakeAt schedules the one-shot resumption of w's process at absolute time
 // t (clamped to now). The registration is stored by value in the event
 // heap and captures w's current generation, so the Sleep/Yield path
-// allocates nothing and stale wakeups are no-ops.
-func (e *Engine) wakeAt(t Time, w *waiter) {
-	if t < e.now {
-		t = e.now
+// allocates nothing and stale wakeups are no-ops. Wakeups are always
+// partition-local: w's process lives on this shard.
+func (s *shard) wakeAt(t Time, w *waiter) {
+	if t < s.now {
+		t = s.now
 	}
-	e.seq++
-	e.queue.push(event{at: t, seq: e.seq, w: w, gen: w.gen})
-	e.noteHeapDepth()
+	s.seq++
+	s.queue.push(event{at: t, seq: s.seq, w: w, gen: w.gen})
+	s.noteHeapDepth()
 }
 
 // noteHeapDepth tracks the event heap's high-water mark after a push.
-func (e *Engine) noteHeapDepth() {
-	if n := len(e.queue); n > e.statHeapHW {
-		e.statHeapHW = n
+func (s *shard) noteHeapDepth() {
+	if n := len(s.queue); n > s.statHeapHW {
+		s.statHeapHW = n
 	}
 }
 
-// Stop makes Run return after the current event completes. Pending events
-// are retained; Run may be called again to continue.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes Run return after the current event completes (on a
+// multi-partition engine: after the current quantum window completes, so
+// the stop point is deterministic). Pending events are retained; Run may
+// be called again to continue.
+func (e *Engine) Stop() {
+	s := e.cur()
+	s.stopped = true
+	if e.multi {
+		e.stopAll.Store(true)
+	}
+}
 
 // loop outcomes.
 const (
@@ -202,24 +342,24 @@ const (
 	loopSelf           // the calling process was itself resumed
 )
 
-// loop dispatches pending events in the calling goroutine until the engine
+// loop dispatches pending events in the calling goroutine until the shard
 // goes idle or control is handed to a process goroutine. Resuming the
 // process whose goroutine is already running the loop returns loopSelf
 // without any channel traffic.
-func (e *Engine) loop() int {
+func (s *shard) loop() int {
 	for {
-		if len(e.queue) == 0 || e.stopped {
+		if len(s.queue) == 0 || s.stopped {
 			return loopIdle
 		}
-		if e.hasDeadline && e.queue[0].at > e.deadline {
+		if s.hasLim && s.queue[0].at > s.limit {
 			return loopIdle
 		}
-		ev := e.queue.pop()
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", e.now, ev.at))
+		ev := s.queue.pop()
+		if ev.at < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d -> %d", s.now, ev.at))
 		}
-		e.now = ev.at
-		e.statEvents++
+		s.now = ev.at
+		s.statEvents++
 		if ev.fn != nil {
 			ev.fn()
 			continue
@@ -231,11 +371,11 @@ func (e *Engine) loop() int {
 		w.gen++
 		p := w.p
 		p.parked = false
-		if p == e.running {
+		if p == s.running {
 			return loopSelf
 		}
-		e.running = p
-		e.statSwitches++
+		s.running = p
+		s.statSwitches++
 		p.wake <- struct{}{}
 		return loopHandoff
 	}
@@ -243,87 +383,127 @@ func (e *Engine) loop() int {
 
 // Run processes events until the queue is empty or Stop is called. Parked
 // processes whose wakeups are never scheduled are simply abandoned (their
-// goroutines are unblocked and discarded at no cost to determinism).
+// goroutines are unblocked and discarded at no cost to determinism). On a
+// multi-partition engine Run executes the quantum algorithm (see
+// partition.go) — same results, any worker count.
 func (e *Engine) Run() {
-	e.stopped = false
-	e.hasDeadline = false
-	e.running = nil
-	if e.loop() == loopHandoff {
-		<-e.done
+	if e.multi {
+		e.runQuanta(0, false)
+		return
 	}
+	e.inRun = true
+	e.root.stopped = false
+	e.root.hasLim = false
+	e.root.running = nil
+	if e.root.loop() == loopHandoff {
+		<-e.root.done
+	}
+	e.inRun = false
 }
 
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to deadline if it has not already passed it. Like Run, it panics if a
 // dispatched event would move time backwards.
 func (e *Engine) RunUntil(deadline Time) {
-	e.stopped = false
-	e.hasDeadline, e.deadline = true, deadline
-	e.running = nil
-	if e.loop() == loopHandoff {
-		<-e.done
+	if e.multi {
+		e.runQuanta(deadline, true)
+		for _, s := range e.parts {
+			if s.now < deadline {
+				s.now = deadline
+			}
+		}
+		return
 	}
-	e.hasDeadline = false
-	if e.now < deadline {
-		e.now = deadline
+	e.inRun = true
+	e.root.stopped = false
+	e.root.hasLim, e.root.limit = true, deadline
+	e.root.running = nil
+	if e.root.loop() == loopHandoff {
+		<-e.root.done
 	}
+	e.root.hasLim = false
+	if e.root.now < deadline {
+		e.root.now = deadline
+	}
+	e.inRun = false
 }
 
-// Idle reports whether no events remain.
-func (e *Engine) Idle() bool { return len(e.queue) == 0 }
+// Idle reports whether no events remain on any partition.
+func (e *Engine) Idle() bool {
+	for _, s := range e.parts {
+		if len(s.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // ParkedProcs returns the names of processes that are currently parked,
-// sorted; useful for diagnosing stalled simulations in tests.
+// across all partitions, sorted; useful for diagnosing stalled simulations
+// in tests.
 func (e *Engine) ParkedProcs() []string {
 	var names []string
-	for p := range e.procs {
-		if p.parked {
-			names = append(names, p.name)
+	for _, s := range e.parts {
+		for p := range s.procs {
+			if p.parked {
+				names = append(names, p.name)
+			}
 		}
 	}
 	sort.Strings(names)
 	return names
 }
 
-// spawn creates the process record and its goroutine, initially parked
-// waiting for the first dispatch at time t.
-func (e *Engine) spawn(t Time, name string, body func(p *Proc)) *Proc {
+// spawnOn creates the process record and its goroutine on shard s,
+// initially parked waiting for the first dispatch at time t.
+func (e *Engine) spawnOn(s *shard, t Time, name string, body func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:  e,
+		sh:   s,
 		name: name,
 		wake: make(chan struct{}, 1),
 	}
 	p.w.p = p
-	e.procs[p] = struct{}{}
-	e.statSpawned++
+	s.procs[p] = struct{}{}
+	s.statSpawned++
 	go func() {
+		if e.multi {
+			// Fibers are pinned to their shard for life; registering the
+			// goroutine once lets Engine.At/After/Now resolve the right
+			// partition from inside the body.
+			g := goid()
+			e.shardOf.Store(g, s)
+			defer e.shardOf.Delete(g)
+		}
 		<-p.wake // wait for first dispatch
-		e.noteProc("start", p)
+		s.noteProc("start", p)
 		body(p)
-		e.noteProc("exit", p)
+		s.noteProc("exit", p)
 		p.dead = true
 		p.parked = true
-		delete(e.procs, p)
-		// The exiting goroutine owns the engine loop; keep dispatching
+		delete(s.procs, p)
+		// The exiting goroutine owns the shard loop; keep dispatching
 		// here until idle or the loop migrates to another process.
-		if e.loop() == loopIdle {
-			e.done <- struct{}{}
+		if s.loop() == loopIdle {
+			s.done <- struct{}{}
 		}
 	}()
-	e.wakeAt(t, &p.w)
+	s.wakeAt(t, &p.w)
 	return p
 }
 
-// Go spawns a new process that begins executing body at the current time.
-// The body runs on its own goroutine but is scheduled cooperatively: it only
-// executes while the engine has handed it control.
+// Go spawns a new process that begins executing body at the current time,
+// on the calling context's partition. The body runs on its own goroutine
+// but is scheduled cooperatively: it only executes while the engine has
+// handed it control.
 func (e *Engine) Go(name string, body func(p *Proc)) *Proc {
-	return e.spawn(e.now, name, body)
+	s := e.cur()
+	return e.spawnOn(s, s.now, name, body)
 }
 
 // GoAt is Go with a deferred start time.
 func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
-	return e.spawn(t, name, body)
+	return e.spawnOn(e.cur(), t, name, body)
 }
 
 // Proc is a simulated process. All methods must be called from the process's
@@ -331,6 +511,7 @@ func (e *Engine) GoAt(t Time, name string, body func(p *Proc)) *Proc {
 // programming error.
 type Proc struct {
 	eng    *Engine
+	sh     *shard
 	name   string
 	wake   chan struct{}
 	w      waiter // reusable wakeup token; armed per park, never reallocated
@@ -344,21 +525,25 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the owning engine.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Part returns the partition the process lives on (0 on single-partition
+// engines).
+func (p *Proc) Part() PartID { return p.sh.id }
+
+// Now returns the current virtual time of the process's partition.
+func (p *Proc) Now() Time { return p.sh.now }
 
 // park gives control back to the engine until some event unparks p. The
-// parking goroutine continues running the engine loop itself: if the next
+// parking goroutine continues running the shard loop itself: if the next
 // wakeup is its own it simply returns, otherwise it hands the loop to the
-// woken process (or signals Run's caller when the engine goes idle) and
+// woken process (or signals the window owner when the shard goes idle) and
 // blocks until resumed.
 func (p *Proc) park() {
 	p.parked = true
-	switch p.eng.loop() {
+	switch p.sh.loop() {
 	case loopSelf:
 		return
 	case loopIdle:
-		p.eng.done <- struct{}{}
+		p.sh.done <- struct{}{}
 	}
 	<-p.wake
 }
@@ -370,22 +555,22 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.eng.wakeAt(p.eng.now+d, &p.w)
+	p.sh.wakeAt(p.sh.now+d, &p.w)
 	p.park()
 }
 
 // SleepUntil parks until the absolute time t (no-op if t has passed).
 func (p *Proc) SleepUntil(t Time) {
-	if t <= p.eng.now {
+	if t <= p.sh.now {
 		return
 	}
-	p.Sleep(t - p.eng.now)
+	p.Sleep(t - p.sh.now)
 }
 
 // Yield reschedules the process at the current time, letting any other
 // events queued for this instant run first.
 func (p *Proc) Yield() {
-	p.eng.wakeAt(p.eng.now, &p.w)
+	p.sh.wakeAt(p.sh.now, &p.w)
 	p.park()
 }
 
@@ -394,8 +579,8 @@ func (p *Proc) Yield() {
 // queue/cond/resource wait list entry) captures the generation it was
 // armed for, and consuming a wakeup bumps the generation. Exactly one of
 // the paths racing to wake a parked process finds a current generation;
-// the rest become stale no-ops. Because all paths run inside the
-// single-threaded engine loop there is no data race.
+// the rest become stale no-ops. Because all paths run inside the waiter's
+// own partition loop there is no data race.
 type waiter struct {
 	p   *Proc
 	gen uint64
@@ -416,8 +601,12 @@ func (r waiterRef) stale() bool { return r.w.gen != r.gen }
 
 // consume claims the registration (making every sibling registration
 // stale) and schedules the resumption of the waiting process at the
-// current time. Callers must check stale() first.
+// current time, on the process's own partition. Callers must check
+// stale() first. Queues, conds, and resources are partition-local by
+// construction (see partition.go), so the waiter's shard is the shard
+// executing the wake.
 func (r waiterRef) consume(e *Engine) {
 	r.w.gen++
-	e.wakeAt(e.now, r.w)
+	s := r.w.p.sh
+	s.wakeAt(s.now, r.w)
 }

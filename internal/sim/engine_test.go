@@ -411,8 +411,8 @@ func TestResourceExclusionProperty(t *testing.T) {
 
 func TestRunPanicsOnTimeRegression(t *testing.T) {
 	e := NewEngine()
-	e.now = 100
-	e.queue.push(event{at: 50, seq: 1, fn: func() {}})
+	e.root.now = 100
+	e.root.queue.push(event{at: 50, seq: 1, fn: func() {}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on time regression")
@@ -423,8 +423,8 @@ func TestRunPanicsOnTimeRegression(t *testing.T) {
 
 func TestRunUntilPanicsOnTimeRegression(t *testing.T) {
 	e := NewEngine()
-	e.now = 100
-	e.queue.push(event{at: 50, seq: 1, fn: func() {}})
+	e.root.now = 100
+	e.root.queue.push(event{at: 50, seq: 1, fn: func() {}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on time regression")

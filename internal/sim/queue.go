@@ -3,6 +3,12 @@ package sim
 // Queue is an unbounded FIFO mailbox connecting processes. Send never
 // blocks; Recv parks the caller until an item is available. Items are
 // delivered in send order and wakeups are deterministic.
+//
+// Queues (like Cond and Resource) are partition-local: every process that
+// sends to or receives from one must live on the same partition, and
+// callbacks that Send must run on it (cross-partition traffic goes through
+// Engine.SendTo, whose callback executes on the target partition). On the
+// default single-partition engine this is vacuously true.
 type Queue[T any] struct {
 	eng     *Engine
 	name    string
@@ -74,21 +80,21 @@ func (q *Queue[T]) TryRecv() (T, bool) {
 // result is false if the deadline elapsed with no item available.
 func (q *Queue[T]) RecvTimeout(p *Proc, d Time) (T, bool) {
 	var zero T
-	deadline := q.eng.now + d
+	deadline := p.sh.now + d
 	for {
 		if len(q.items) > 0 {
 			v := q.items[0]
 			q.items = q.items[1:]
 			return v, true
 		}
-		if q.eng.now >= deadline {
+		if p.sh.now >= deadline {
 			return zero, false
 		}
 		// Two registrations race for one generation: the wait-list entry
 		// and the deadline wakeup. Whichever fires first consumes the
 		// generation; the other goes stale.
 		q.waiters = append(q.waiters, p.ref())
-		q.eng.wakeAt(deadline, &p.w)
+		p.sh.wakeAt(deadline, &p.w)
 		p.park()
 	}
 }

@@ -53,18 +53,26 @@ func (s *EngineStats) Merge(o EngineStats) {
 	s.Cycles += o.Cycles
 }
 
-// Stats returns the engine's work counters. Call it only after the engine
-// has gone idle (Run returned); reading mid-run from another goroutine is
-// a data race.
+// Stats returns the engine's work counters, folded across its partitions:
+// events, switches, and spawns sum; HeapHighWater is the deepest partition
+// heap; Cycles is the furthest partition clock. Every term is driven by
+// the deterministic event sequence, so the snapshot is identical at any
+// worker count. Call it only after the engine has gone idle (Run
+// returned); reading mid-run from another goroutine is a data race.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
-		Engines:       1,
-		Events:        e.statEvents,
-		ProcSwitches:  e.statSwitches,
-		ProcsSpawned:  e.statSpawned,
-		HeapHighWater: int64(e.statHeapHW),
-		Cycles:        int64(e.now),
+	st := EngineStats{Engines: 1}
+	for _, s := range e.parts {
+		st.Events += s.statEvents
+		st.ProcSwitches += s.statSwitches
+		st.ProcsSpawned += s.statSpawned
+		if int64(s.statHeapHW) > st.HeapHighWater {
+			st.HeapHighWater = int64(s.statHeapHW)
+		}
+		if int64(s.now) > st.Cycles {
+			st.Cycles = int64(s.now)
+		}
 	}
+	return st
 }
 
 // StatsCollector accumulates the engines created by the goroutines it is
@@ -112,13 +120,52 @@ func (c *StatsCollector) PerEngine() []EngineStats {
 	return out
 }
 
-// boundCollectors maps goroutine id -> the collector bound to it. Bindings
-// are strictly scoped (Bind returns the detach that restores the previous
-// binding), so the map stays small: one entry per goroutine currently
-// inside a CollectStats region.
+// binding is the per-goroutine configuration engines inherit at NewEngine:
+// the stats collector they register with and the window-dispatch
+// parallelism multi-partition engines run at. Both halves are scoped the
+// same way (a detach restores the previous value) and propagate together
+// through InheritStats.
+type binding struct {
+	col *StatsCollector
+	par int // 0 = unset (engines default to 1 worker)
+}
+
+// boundCollectors maps goroutine id -> the binding attached to it.
+// Bindings are strictly scoped (Bind/BindParallelism return the detach
+// that restores the previous binding), so the map stays small: one entry
+// per goroutine currently inside a bound region.
 var boundCollectors struct {
 	mu sync.Mutex
-	m  map[uint64]*StatsCollector
+	m  map[uint64]binding
+}
+
+// setBinding installs b for goroutine g and returns a detach restoring the
+// previous state. Callers hold no lock.
+func setBinding(g uint64, b binding) (detach func()) {
+	boundCollectors.mu.Lock()
+	if boundCollectors.m == nil {
+		boundCollectors.m = make(map[uint64]binding)
+	}
+	prev, hadPrev := boundCollectors.m[g]
+	boundCollectors.m[g] = b
+	boundCollectors.mu.Unlock()
+	return func() {
+		boundCollectors.mu.Lock()
+		if hadPrev {
+			boundCollectors.m[g] = prev
+		} else {
+			delete(boundCollectors.m, g)
+		}
+		boundCollectors.mu.Unlock()
+	}
+}
+
+// getBinding returns the binding attached to goroutine g (zero if none).
+func getBinding(g uint64) binding {
+	boundCollectors.mu.Lock()
+	b := boundCollectors.m[g]
+	boundCollectors.mu.Unlock()
+	return b
 }
 
 // goid returns the calling goroutine's id, parsed from the runtime.Stack
@@ -141,47 +188,59 @@ func goid() uint64 {
 // attachToBoundCollector registers e with the collector bound to the
 // calling goroutine, if any. Called by NewEngine.
 func attachToBoundCollector(e *Engine) {
-	g := goid()
-	boundCollectors.mu.Lock()
-	c := boundCollectors.m[g]
-	boundCollectors.mu.Unlock()
-	if c != nil {
+	if c := getBinding(goid()).col; c != nil {
 		c.attach(e)
 	}
 }
 
 // Bind attaches c to the calling goroutine: every NewEngine on this
 // goroutine registers with c until the returned detach runs. Bindings
-// nest; detach restores the previous one. A nil receiver binds nothing
-// and returns a no-op detach.
+// nest; detach restores the previous one (the goroutine's bound
+// parallelism is untouched). A nil receiver binds nothing and returns a
+// no-op detach.
 func (c *StatsCollector) Bind() (detach func()) {
 	if c == nil {
 		return func() {}
 	}
 	g := goid()
-	boundCollectors.mu.Lock()
-	if boundCollectors.m == nil {
-		boundCollectors.m = make(map[uint64]*StatsCollector)
-	}
-	prev, hadPrev := boundCollectors.m[g]
-	boundCollectors.m[g] = c
-	boundCollectors.mu.Unlock()
-	return func() {
-		boundCollectors.mu.Lock()
-		if hadPrev {
-			boundCollectors.m[g] = prev
-		} else {
-			delete(boundCollectors.m, g)
-		}
-		boundCollectors.mu.Unlock()
-	}
+	b := getBinding(g)
+	b.col = c
+	return setBinding(g, b)
 }
 
-// InheritStats captures the collector bound to the calling goroutine and
-// returns a bind function for a spawned worker goroutine to call at its
-// top; bind returns the worker's detach. With no collector bound, both
-// are no-ops. Worker pools use this so engines created on their workers
-// still register with the spawning request's collector:
+// BindParallelism binds an engine-parallelism level to the calling
+// goroutine: every NewEngine on this goroutine until the returned detach
+// runs adopts n as its window-dispatch worker count (the -par knob). The
+// value only matters for multi-partition engines and never affects
+// results, only wall-clock time. Values < 1 are treated as 1. The binding
+// nests and propagates through InheritStats exactly like the stats
+// collector, so worker pools carry it unchanged.
+func BindParallelism(n int) (detach func()) {
+	if n < 1 {
+		n = 1
+	}
+	g := goid()
+	b := getBinding(g)
+	b.par = n
+	return setBinding(g, b)
+}
+
+// BoundParallelism returns the engine-parallelism level bound to the
+// calling goroutine (1 when unbound).
+func BoundParallelism() int {
+	if p := getBinding(goid()).par; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// InheritStats captures the calling goroutine's binding — the stats
+// collector and the bound engine parallelism — and returns a bind
+// function for a spawned worker goroutine to call at its top; bind
+// returns the worker's detach. With nothing bound, both are no-ops.
+// Worker pools use this so engines created on their workers still
+// register with the spawning request's collector and run at its
+// parallelism:
 //
 //	bind := sim.InheritStats()
 //	go func() {
@@ -190,11 +249,13 @@ func (c *StatsCollector) Bind() (detach func()) {
 //		...
 //	}()
 func InheritStats() (bind func() (detach func())) {
-	g := goid()
-	boundCollectors.mu.Lock()
-	c := boundCollectors.m[g]
-	boundCollectors.mu.Unlock()
-	return func() func() { return c.Bind() }
+	b := getBinding(goid())
+	return func() func() {
+		if b == (binding{}) {
+			return func() {}
+		}
+		return setBinding(goid(), b)
+	}
 }
 
 // CollectStats runs fn with a fresh collector bound to the calling

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"armvirt/internal/platform"
+)
+
+// fleetBenchParams sizes the PDES speedup benchmark. The quantum window is
+// the lookahead (IPIWire = 150 cycles on the ARM model), so the per-window
+// event density per partition is roughly Tokens * lookahead / HopCycles —
+// with 32 tokens hopping every 60 cycles that is ~80 events per window,
+// enough simulated work between barriers for the parallel engine to
+// amortize the window dispatch on a multi-core host.
+var fleetBenchParams = FleetParams{Fibers: 16, Tokens: 32, Hops: 30, Epochs: 6, HopCycles: 60}
+
+// BenchmarkFleetSpeedup is the PDES acceptance benchmark: the 8-PCPU
+// hackbench-style fleet on the partitioned ARM machine at 1, 2 and 4 host
+// workers. Results are byte-identical at every level (the determinism
+// tests in fleet_test.go pin that); only ns/op moves. On a multi-core
+// host par=4 should run at least 2x faster than par=1; on a single-core
+// host the levels collapse to roughly equal wall time.
+func BenchmarkFleetSpeedup(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := platform.ARMMachinePartitioned()
+				m.Eng.SetWorkers(workers)
+				r := Fleet(m, fleetBenchParams)
+				if r.Hops == 0 {
+					b.Fatal("degenerate fleet run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetSerialEngine prices the same scenario on the classic
+// single-partition machine — the baseline the partitioned engine's par=1
+// case must stay close to (the sequential fast path is untouched when
+// parallelism is off).
+func BenchmarkFleetSerialEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := platform.ARMMachine()
+		r := Fleet(m, fleetBenchParams)
+		if r.Hops == 0 {
+			b.Fatal("degenerate fleet run")
+		}
+	}
+}
