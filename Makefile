@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench report-diff prof-determinism par-determinism bench-smoke bench-json serve-smoke ci
+.PHONY: all build test race vet lint fmt-check bench report-diff prof-determinism par-determinism telemetry-determinism bench-smoke bench-json serve-smoke ci
 
 all: build test
 
@@ -58,13 +58,29 @@ par-determinism:
 	/tmp/armvirt-prof -folded -par $(NPROC) > /tmp/prof-parN.folded
 	diff -u /tmp/prof-par1.folded /tmp/prof-parN.folded
 
+# telemetry-determinism checks the in-sim sampler's byte-identity
+# contract: the full PD1 fleet time series (per-PCPU utilization, steal,
+# run-queue depth, exits, IRQ latency) rendered by armvirt-top must not
+# change one byte between -par 1 and -par $(NPROC). CI archives the CSV.
+telemetry-determinism:
+	$(GO) build -o /tmp/armvirt-top ./cmd/armvirt-top
+	/tmp/armvirt-top -exp PD1 -format csv -par 1 > /tmp/telemetry-par1.csv
+	/tmp/armvirt-top -exp PD1 -format csv -par $(NPROC) > /tmp/telemetry-parN.csv
+	diff -u /tmp/telemetry-par1.csv /tmp/telemetry-parN.csv
+	/tmp/armvirt-top -exp PD1 -format json -par 1 > /tmp/telemetry-par1.json
+	/tmp/armvirt-top -exp PD1 -format json -par $(NPROC) > /tmp/telemetry-parN.json
+	diff -u /tmp/telemetry-par1.json /tmp/telemetry-parN.json
+	@grep -q ',steal,' /tmp/telemetry-par1.csv || { echo "no steal series in PD1 telemetry"; exit 1; }
+	@echo "telemetry-determinism: OK (PD1 series byte-identical at -par 1 and -par $(NPROC))"
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim
 
 # bench-json runs the perf-trajectory suite — the engine hot-path
 # microbenchmarks, the experiment-level worker pool (core.RunAll at j=1
 # vs j=NumCPU), and the PDES speedup benchmark (the 8-PCPU fleet at
-# -par 1/2/4) — and records it as BENCH_7.json via armvirt-benchjson
+# -par 1/2/4, now also reporting the engine's window/stall/outbox health
+# counters) — and records it as BENCH_8.json via armvirt-benchjson
 # (host metadata + every result + derived par/j speedups). CI uploads
 # the file as an artifact; speedups only show on multi-core hosts.
 bench-json:
@@ -72,8 +88,8 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkEventDispatch|BenchmarkProcSwitch|BenchmarkQueueSendRecv' -benchmem -benchtime 100ms ./internal/sim > /tmp/bench-engine.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAll' -benchtime 1x ./internal/core > /tmp/bench-runall.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchtime 5x ./internal/workload > /tmp/bench-fleet.txt
-	/tmp/armvirt-benchjson -out BENCH_7.json /tmp/bench-engine.txt /tmp/bench-runall.txt /tmp/bench-fleet.txt
-	@echo "wrote BENCH_7.json"
+	/tmp/armvirt-benchjson -out BENCH_8.json /tmp/bench-engine.txt /tmp/bench-runall.txt /tmp/bench-fleet.txt
+	@echo "wrote BENCH_8.json"
 
 # serve-smoke boots the armvirt-serve daemon, waits for /healthz, then
 # checks the cache-correctness contract end to end: a cold (fresh-run)
@@ -101,12 +117,18 @@ serve-smoke:
 	curl -fsS "http://127.0.0.1:18080/v1/profile/kvm-arm/hypercall?format=folded" >/dev/null; \
 	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_cache_hits_total 1'; \
 	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_stage_latency_us{stage="engine"'; \
+	curl -fsS "http://127.0.0.1:18080/v1/experiments/PD1/timeseries?format=csv" > /tmp/serve-ts-cold.csv; \
+	curl -fsS "http://127.0.0.1:18080/v1/experiments/PD1/timeseries?format=csv" > /tmp/serve-ts-warm.csv; \
+	diff -u /tmp/serve-ts-cold.csv /tmp/serve-ts-warm.csv; \
+	grep -q ',steal,' /tmp/serve-ts-cold.csv; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q 'armvirt_build_info{go_version='; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -Eq 'armvirt_telemetry_series_total [1-9]'; \
 	run=$$(curl -fsS "http://127.0.0.1:18080/v1/runs?experiment=T2&outcome=miss&format=json" | jq -re '.[0].id'); \
 	curl -fsS "http://127.0.0.1:18080/v1/runs/$$run" | jq -e '.target == "T2" and .outcome == "miss" and .engine.cycles > 0' >/dev/null; \
 	curl -fsS "http://127.0.0.1:18080/v1/runs/$$run/trace" > /tmp/serve-trace.json; \
-	jq -e 'type == "array" and (map(select(.ph == "X" or .ph == "M")) | length) == length and ([.[].pid] | unique | contains([1, 2]))' /tmp/serve-trace.json >/dev/null; \
+	jq -e 'type == "array" and (map(select(.ph == "X" or .ph == "M" or .ph == "C")) | length) == length and ([.[].pid] | unique | contains([1, 2]))' /tmp/serve-trace.json >/dev/null; \
 	kill -TERM $$pid; wait $$pid; \
 	/tmp/armvirt-runs -experiment T2 -status 200 /tmp/serve-ledger.jsonl | grep -q "$$run"; \
 	echo "serve-smoke: OK (cached == fresh == armvirt-report -json; run ledger + trace valid; graceful drain)"
 
-ci: fmt-check lint build race report-diff prof-determinism par-determinism bench-smoke bench-json serve-smoke
+ci: fmt-check lint build race report-diff prof-determinism par-determinism telemetry-determinism bench-smoke bench-json serve-smoke

@@ -31,13 +31,17 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Extra carries any custom
+// b.ReportMetric units beyond the standard three — the PDES health
+// counters (windows, stall-cycles, outbox-msgs) BenchmarkFleetSpeedup
+// reports land here, keyed by their unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Runs        int64   `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Speedup is a derived parallel-vs-serial ratio within one benchmark
@@ -131,10 +135,13 @@ func parse(r io.Reader, doc *Doc) error {
 }
 
 // parseLine decodes one result line; ok is false for non-result lines that
-// merely start with "Benchmark" (e.g. a name echoed without fields).
+// merely start with "Benchmark" (e.g. a name echoed without fields) and for
+// lines carrying no ns/op value. go test sorts (value, unit) pairs by unit,
+// so ns/op is scanned for rather than assumed at a fixed position; unknown
+// units (custom b.ReportMetric output) collect into Extra.
 func parseLine(line string) (Result, bool) {
 	f := strings.Fields(line)
-	if len(f) < 4 || f[3] != "ns/op" {
+	if len(f) < 4 {
 		return Result{}, false
 	}
 	name := f[0]
@@ -144,25 +151,38 @@ func parseLine(line string) (Result, bool) {
 			name = name[:i]
 		}
 	}
-	runs, err1 := strconv.ParseInt(f[1], 10, 64)
-	ns, err2 := strconv.ParseFloat(f[2], 64)
-	if err1 != nil || err2 != nil {
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
 		return Result{}, false
 	}
-	res := Result{Name: name, Runs: runs, NsPerOp: ns}
-	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
+	res := Result{Name: name, Runs: runs}
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
 			continue
 		}
 		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
 		case "B/op":
-			b := v
+			b := int64(v)
 			res.BytesPerOp = &b
 		case "allocs/op":
-			a := v
+			a := int64(v)
 			res.AllocsPerOp = &a
+		case "MB/s":
+			// Throughput is derivable from ns/op; skip it like before.
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[f[i+1]] = v
 		}
+	}
+	if !sawNs {
+		return Result{}, false
 	}
 	return res, true
 }

@@ -9,9 +9,9 @@ const sample = `goos: linux
 goarch: amd64
 pkg: armvirt/internal/workload
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkFleetSpeedup/par=1-4         	       5	  30462421 ns/op
-BenchmarkFleetSpeedup/par=2-4         	       5	  16123456 ns/op
-BenchmarkFleetSpeedup/par=4-4         	       5	  10154140 ns/op
+BenchmarkFleetSpeedup/par=1-4         	       5	  30462421 ns/op	    4608 outbox-msgs	  519000 stall-cycles	    1152 windows
+BenchmarkFleetSpeedup/par=2-4         	       5	  16123456 ns/op	    4608 outbox-msgs	  519000 stall-cycles	    1152 windows
+BenchmarkFleetSpeedup/par=4-4         	       5	  10154140 ns/op	    4608 outbox-msgs	  519000 stall-cycles	    1152 windows
 BenchmarkProcSwitch-4                 	35090541	        33.40 ns/op	       0 B/op	       0 allocs/op
 BenchmarkRunAll/j=1-4                 	       1	 901234567 ns/op
 BenchmarkRunAll/j=4-4                 	       1	 300411522 ns/op
@@ -35,6 +35,19 @@ func TestParseAndDerive(t *testing.T) {
 	}
 	if ps.BytesPerOp == nil || *ps.BytesPerOp != 0 || ps.AllocsPerOp == nil || *ps.AllocsPerOp != 0 {
 		t.Fatalf("benchmem fields parsed wrong: %+v", ps)
+	}
+	fleet := doc.Benchmarks[0]
+	if fleet.NsPerOp != 30462421 {
+		t.Fatalf("fleet ns/op parsed wrong with custom metrics present: %+v", fleet)
+	}
+	want := map[string]float64{"outbox-msgs": 4608, "stall-cycles": 519000, "windows": 1152}
+	for unit, v := range want {
+		if fleet.Extra[unit] != v {
+			t.Fatalf("custom metric %s = %v, want %v (extra %v)", unit, fleet.Extra[unit], v, fleet.Extra)
+		}
+	}
+	if ps.Extra != nil {
+		t.Fatalf("ProcSwitch has no custom metrics, got %v", ps.Extra)
 	}
 
 	sp := derive(doc.Benchmarks)

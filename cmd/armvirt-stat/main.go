@@ -21,6 +21,7 @@ import (
 	"armvirt/internal/blockdev"
 	"armvirt/internal/hyp"
 	"armvirt/internal/obs"
+	"armvirt/internal/telemetry"
 	"armvirt/internal/workload"
 )
 
@@ -67,7 +68,13 @@ func main() {
 	workloadFlag := flag.String("workload", "tcp_rr", "workload: "+strings.Join(workloads, ", "))
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 	ringCap := flag.Int("ring", 0, "per-CPU event ring capacity (0 = default)")
+	intervalUs := flag.Float64("interval-us", 10, "telemetry sampling bucket, simulated microseconds (counter tracks in -trace-out)")
 	flag.Parse()
+
+	if *intervalUs <= 0 {
+		fmt.Fprintln(os.Stderr, "-interval-us must be positive")
+		os.Exit(2)
+	}
 
 	factory, ok := bench.Factories()[*platformFlag]
 	if !ok {
@@ -79,12 +86,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The telemetry collector must be bound before the factory builds the
+	// machine: hw.New picks its sampler up from the goroutine binding.
+	tcol := telemetry.NewCollector(*intervalUs)
+	tdetach := tcol.Bind()
 	h := factory()
 	m := h.Machine()
 	rec := obs.NewRecorder(m.NCPU(), *ringCap)
 	m.SetRecorder(rec)
 
 	result, err := runWorkload(h, *workloadFlag)
+	tdetach()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "armvirt-stat: %v\n", err)
 		os.Exit(1)
@@ -102,7 +114,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "create %s: %v\n", *traceOut, err)
 			os.Exit(1)
 		}
-		if err := obs.WriteChromeTrace(f, rec, m.Cost.FreqMHz); err != nil {
+		if err := obs.WriteChromeTraceWithCounters(f, rec, m.Cost.FreqMHz, tcol.SortedSeries()); err != nil {
 			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
 			os.Exit(1)
 		}

@@ -131,12 +131,25 @@ func namedOf(t types.Type) *types.Named {
 // name-based match lets analysistest fixtures supply a stand-in obs
 // package without importing the real one.
 func isRecorderType(t types.Type) bool {
+	return isNamedIn(t, "Recorder", "obs")
+}
+
+// isSamplerType reports whether t is (a pointer to) the telemetry.Sampler
+// type, which carries the same nil-is-a-no-op contract as obs.Recorder.
+func isSamplerType(t types.Type) bool {
+	return isNamedIn(t, "Sampler", "telemetry")
+}
+
+// isNamedIn matches a named type by (type name, package name). The
+// name-based match lets analysistest fixtures supply stand-in packages
+// without importing the real ones.
+func isNamedIn(t types.Type, typeName, pkgName string) bool {
 	n := namedOf(t)
-	if n == nil || n.Obj().Name() != "Recorder" {
+	if n == nil || n.Obj().Name() != typeName {
 		return false
 	}
 	pkg := n.Obj().Pkg()
-	return pkg != nil && pkg.Name() == "obs"
+	return pkg != nil && pkg.Name() == pkgName
 }
 
 // hasDirective reports whether any comment in any of the files carries the

@@ -23,6 +23,7 @@ import (
 var DetclockScope = []string{
 	"sim", "gic", "hyp", "sched", "vio", "netdev", "blockdev",
 	"micro", "workload", "timer", "mem", "cpu", "core", "bench",
+	"telemetry",
 }
 
 // detclockDeny maps package path -> denied identifiers. An empty set

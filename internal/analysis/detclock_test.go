@@ -11,15 +11,16 @@ func TestDetclockFixtures(t *testing.T) {
 
 func TestDetclockScopeMatching(t *testing.T) {
 	for path, want := range map[string]bool{
-		"armvirt/internal/sim":     true,
-		"armvirt/internal/hyp":     true,
-		"armvirt/internal/hyp/kvm": true,
-		"armvirt/internal/hyp/xen": true,
-		"armvirt/internal/serve":   false,
-		"armvirt/internal/obs":     false,
-		"armvirt/internal/simnew":  false, // prefix must stop at a path boundary
-		"sim":                      true,  // analysistest fixture paths
-		"clockfree":                false,
+		"armvirt/internal/sim":       true,
+		"armvirt/internal/hyp":       true,
+		"armvirt/internal/hyp/kvm":   true,
+		"armvirt/internal/hyp/xen":   true,
+		"armvirt/internal/telemetry": true,
+		"armvirt/internal/serve":     false,
+		"armvirt/internal/obs":       false,
+		"armvirt/internal/simnew":    false, // prefix must stop at a path boundary
+		"sim":                        true,  // analysistest fixture paths
+		"clockfree":                  false,
 	} {
 		if got := detclockInScope(path); got != want {
 			t.Errorf("detclockInScope(%q) = %v, want %v", path, got, want)

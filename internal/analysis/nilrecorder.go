@@ -1,15 +1,17 @@
 // nilrecorder: enforce the nil-recorder zero-cost idiom on both sides of
-// the obs.Recorder API.
+// the obs.Recorder and telemetry.Sampler APIs.
 //
-// A nil *obs.Recorder is a valid recorder that records nothing, so
+// A nil *obs.Recorder is a valid recorder that records nothing, and a nil
+// *telemetry.Sampler is a valid sampler that samples nothing, so
 // instrumentation hooks stay in place at zero cost when observability is
 // off (the *trace.Breakdown idiom). That contract has two halves:
 //
 //  1. Definition side: every exported pointer-receiver method on
-//     obs.Recorder — and on any type that embeds one — must begin with
-//     the nil-receiver guard (`if r == nil { return ... }`, optionally
-//     with extra ||-joined cheap conditions), so calling through a nil
-//     recorder can never dereference it.
+//     obs.Recorder or telemetry.Sampler — and on any type that embeds
+//     one — must begin with the nil-receiver guard
+//     (`if r == nil { return ... }`, optionally with extra ||-joined
+//     cheap conditions), so calling through a nil receiver can never
+//     dereference it.
 //  2. Call side: the guard only makes the *call* free; arguments are
 //     evaluated before the callee runs. A composite literal or
 //     fmt.Sprintf argument allocates on every call even when the
@@ -26,8 +28,8 @@ import (
 // Nilrecorder is the nil-recorder idiom analyzer.
 var Nilrecorder = &Analyzer{
 	Name: "nilrecorder",
-	Doc: "exported obs.Recorder methods must open with the nil-receiver guard, and " +
-		"recorder call sites must not allocate arguments (composite literals, fmt.Sprintf)",
+	Doc: "exported obs.Recorder and telemetry.Sampler methods must open with the nil-receiver guard, and " +
+		"their call sites must not allocate arguments (composite literals, fmt.Sprintf)",
 	Run: runNilrecorder,
 }
 
@@ -37,27 +39,45 @@ func runNilrecorder(pass *Pass) error {
 	return nil
 }
 
-// recorderReceiver reports whether a method receiver type is *obs.Recorder
-// itself or a pointer to a struct embedding one.
-func recorderReceiver(t types.Type) bool {
+// guardKind classifies a type under the nil-is-a-no-op contract:
+// "recorder" for *obs.Recorder (or a struct embedding one), "sampler" for
+// *telemetry.Sampler (or an embedder), "" for everything else.
+func guardKind(t types.Type) string {
 	if isRecorderType(t) {
-		return true
+		return "recorder"
+	}
+	if isSamplerType(t) {
+		return "sampler"
 	}
 	n := namedOf(t)
 	if n == nil {
-		return false
+		return ""
 	}
 	st, ok := n.Underlying().(*types.Struct)
 	if !ok {
-		return false
+		return ""
 	}
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
-		if f.Anonymous() && isRecorderType(f.Type()) {
-			return true
+		if !f.Anonymous() {
+			continue
+		}
+		if isRecorderType(f.Type()) {
+			return "recorder"
+		}
+		if isSamplerType(f.Type()) {
+			return "sampler"
 		}
 	}
-	return false
+	return ""
+}
+
+// guardTypeName is the qualified type name used in call-site diagnostics.
+func guardTypeName(kind string) string {
+	if kind == "sampler" {
+		return "(*telemetry.Sampler)"
+	}
+	return "(*obs.Recorder)"
 }
 
 func checkRecorderMethods(pass *Pass) {
@@ -82,13 +102,14 @@ func checkRecorderMethods(pass *Pass) {
 			if _, isPtr := types.Unalias(rt).(*types.Pointer); !isPtr {
 				continue // value receivers cannot be nil
 			}
-			if !recorderReceiver(rt) {
+			kind := guardKind(rt)
+			if kind == "" {
 				continue
 			}
 			if fn.Body == nil || !startsWithNilGuard(fn.Body, recvName) {
 				pass.Reportf(fn.Name.Pos(),
-					"exported recorder method %s must begin with the nil-receiver guard `if %s == nil { return ... }` so a nil recorder stays a free no-op",
-					fn.Name.Name, recvName)
+					"exported %s method %s must begin with the nil-receiver guard `if %s == nil { return ... }` so a nil %s stays a free no-op",
+					kind, fn.Name.Name, recvName, kind)
 			}
 		}
 	}
@@ -170,14 +191,27 @@ func walkGuarded(pass *Pass, n ast.Node, guarded map[string]bool) {
 		return
 	}
 	if call, ok := n.(*ast.CallExpr); ok {
+		// Only exported methods are entry points whose arguments evaluate
+		// before any guard: unexported helpers run behind a guarded
+		// exported method by construction.
 		if recv, sel, ok := isMethodCall(pass.TypesInfo, call); ok &&
-			isRecorderType(pass.TypesInfo.TypeOf(recv)) &&
+			sel.Obj().Exported() &&
 			!guarded[types.ExprString(ast.Unparen(recv))] {
-			for _, arg := range call.Args {
-				if why := allocatingArg(pass, arg); why != "" {
-					pass.Reportf(arg.Pos(),
-						"%s argument to (*obs.Recorder).%s allocates before the nil guard can run; precompute it or guard the call with a recorder != nil check",
-						why, sel.Obj().Name())
+			rt := pass.TypesInfo.TypeOf(recv)
+			var kind string
+			switch {
+			case isRecorderType(rt):
+				kind = "recorder"
+			case isSamplerType(rt):
+				kind = "sampler"
+			}
+			if kind != "" {
+				for _, arg := range call.Args {
+					if why := allocatingArg(pass, arg); why != "" {
+						pass.Reportf(arg.Pos(),
+							"%s argument to %s.%s allocates before the nil guard can run; precompute it or guard the call with a %s != nil check",
+							why, guardTypeName(kind), sel.Obj().Name(), kind)
+					}
 				}
 			}
 		}

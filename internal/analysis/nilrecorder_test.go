@@ -3,11 +3,12 @@ package analysis
 import "testing"
 
 // TestNilrecorderFixtures covers both halves of the idiom: the fixture
-// obs package checks definition sites (guarded methods pass, an
-// unguarded exported method and an unguarded method on an embedding type
-// fail, unexported and value-receiver methods are exempt), and
-// nilrecorder/a checks call sites (Sprintf and composite-literal
-// arguments flagged, constants and explicitly guarded calls exempt).
+// obs and telemetry packages check definition sites (guarded methods
+// pass, an unguarded exported method and an unguarded method on an
+// embedding type fail, unexported and value-receiver methods are
+// exempt), and nilrecorder/a checks call sites for both guarded APIs
+// (Sprintf and composite-literal arguments flagged, constants and
+// explicitly guarded calls exempt).
 func TestNilrecorderFixtures(t *testing.T) {
-	runFixtures(t, Nilrecorder, "obs", "nilrecorder/a")
+	runFixtures(t, Nilrecorder, "obs", "telemetry", "nilrecorder/a")
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"obs"
+	"telemetry"
 )
 
 type payload struct {
@@ -33,4 +34,21 @@ func Guarded(rec *obs.Recorder, id int, ready *payload) {
 		rec.Attach(&payload{kind: "exit"}) // guarded via &&-joined condition
 	}
 	rec.Attach(ready)
+}
+
+// HotSampler is an instrumented hot path through the telemetry sampler:
+// the same call-side rules apply to its methods.
+func HotSampler(tel *telemetry.Sampler, now int64, cpu int) {
+	tel.Count(now, cpu, fmt.Sprintf("pcpu%d", cpu), 1) // want `fmt.Sprintf argument to \(\*telemetry.Sampler\).Count allocates`
+
+	// Constant and precomputed arguments are free.
+	tel.Count(now, cpu, "gic-delivery", 1)
+	tel.AddSpan(now, now+100)
+}
+
+// GuardedSampler shows the blessed remediation for samplers.
+func GuardedSampler(tel *telemetry.Sampler, now int64, cpu int) {
+	if tel != nil {
+		tel.Count(now, cpu, fmt.Sprintf("pcpu%d", cpu), 1) // guarded: allocation only happens when sampling
+	}
 }

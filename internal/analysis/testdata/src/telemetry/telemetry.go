@@ -1,0 +1,74 @@
+// Package telemetry is the analysistest stand-in for the real in-sim
+// sampler: a named type Sampler in a package called telemetry, which is
+// what nilrecorder keys on for its second guarded API. Exported
+// pointer-receiver methods must open with the nil-receiver guard so a nil
+// sampler stays a free no-op.
+package telemetry
+
+// Sampler mimics the real time-series sampler: a nil *Sampler samples
+// nothing.
+type Sampler struct {
+	n int64
+}
+
+// Count has the blessed nil guard.
+func (s *Sampler) Count(t int64, cpu int, name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.n += n
+}
+
+// AddSpan is guarded with an extra ||-joined cheap condition.
+func (s *Sampler) AddSpan(from, to int64) {
+	if s == nil || to <= from {
+		return
+	}
+	s.n++
+}
+
+// Samples is guarded and returns the zero value on nil.
+func (s *Sampler) Samples() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// BadObserve dereferences a possibly-nil receiver; the expectation
+// anchors on the declaration line.
+func (s *Sampler) BadObserve(v int64) { // want `exported sampler method BadObserve must begin with the nil-receiver guard`
+	s.n += v
+}
+
+// bump is unexported: internal helpers run behind guarded entry points.
+func (s *Sampler) bump() { s.n++ }
+
+// Tick keeps the unexported helper reachable so the fixture compiles
+// without unused warnings.
+func (s *Sampler) Tick() {
+	if s == nil {
+		return
+	}
+	s.bump()
+}
+
+// Wrapped embeds a Sampler, so its own exported pointer-receiver methods
+// inherit the nil-guard obligation.
+type Wrapped struct {
+	*Sampler
+	extra int
+}
+
+// Reset is missing its guard.
+func (w *Wrapped) Reset() { // want `exported sampler method Reset must begin with the nil-receiver guard`
+	w.extra = 0
+}
+
+// Clear is guarded correctly.
+func (w *Wrapped) Clear() {
+	if w == nil {
+		return
+	}
+	w.extra = 0
+}

@@ -19,6 +19,7 @@ import (
 	"armvirt/internal/cpu"
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 )
 
 // Disk models a storage device as a single service center: requests queue,
@@ -32,7 +33,10 @@ type Disk struct {
 	// CyclesPerByte is the media transfer rate.
 	CyclesPerByte float64
 	// Rec, when non-nil, receives cycle attribution for request service.
-	Rec    *obs.Recorder
+	Rec *obs.Recorder
+	// Tel, when non-nil, counts served requests in the machine's
+	// telemetry sampler.
+	Tel    *telemetry.Sampler
 	served int64
 }
 
@@ -67,6 +71,7 @@ func (d *Disk) Serve(p *sim.Proc, n int) {
 	d.res.Acquire(p)
 	cost := d.FixedLatency + sim.Time(float64(n)*d.CyclesPerByte)
 	d.Rec.ChargeCycles(p, "disk service", int64(cost))
+	d.Tel.Count(p.Now(), -1, telemetry.CtrDiskReq, 1)
 	p.Sleep(cost)
 	d.served++
 	d.res.Release(p)

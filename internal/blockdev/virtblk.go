@@ -100,6 +100,7 @@ func RunVirt(h hyp.Hypervisor, disk *Disk, cfg BenchConfig) BenchResult {
 	m := h.Machine()
 	eng := m.Eng
 	disk.Rec = m.Rec
+	disk.Tel = m.Tel
 	freqMHz := m.Cost.FreqMHz
 	us := func(x float64) sim.Time { return sim.Time(x * float64(freqMHz)) }
 

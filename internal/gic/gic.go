@@ -20,6 +20,7 @@ import (
 
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 )
 
 // IRQ is an interrupt number in GIC numbering: 0-15 SGI, 16-31 PPI, 32+ SPI.
@@ -60,6 +61,11 @@ func (i IRQ) Class() string {
 type Delivery struct {
 	CPU int
 	IRQ IRQ
+	// At is the simulated time the delivery reached the CPU, stamped by
+	// the distributor (or the x86 machine layer) at the moment it lands.
+	// Receivers subtract it from their wake time to measure IRQ-delivery
+	// latency — the interval an interrupt waited for its handler.
+	At sim.Time
 }
 
 // Distributor is the GIC distributor: global interrupt state and routing.
@@ -73,6 +79,9 @@ type Distributor struct {
 	// Rec, when non-nil, receives a PhysIRQ event for every delivery the
 	// distributor hands to a CPU (set via hw.Machine.SetRecorder).
 	Rec *obs.Recorder
+	// Tel, when non-nil, counts every delivery in the machine's telemetry
+	// sampler (set via hw.Machine.SetSampler alongside Rec).
+	Tel *telemetry.Sampler
 	// PartOf, when non-nil, maps a CPU to its engine partition: the
 	// machine runs on a partitioned engine (conservative parallel
 	// simulation) and every delivery is routed as a cross-partition
@@ -83,8 +92,13 @@ type Distributor struct {
 }
 
 // deliver stamps the delivery for observability and hands it to the sink.
+// It always runs on the target CPU's partition, so the telemetry count
+// lands in that partition's buffer.
 func (d *Distributor) deliver(dv Delivery) {
-	d.Rec.Emit(d.eng.Now(), obs.PhysIRQ, dv.CPU, "", -1, dv.IRQ.Class(), int64(dv.IRQ))
+	now := d.eng.Now()
+	dv.At = now
+	d.Rec.Emit(now, obs.PhysIRQ, dv.CPU, "", -1, dv.IRQ.Class(), int64(dv.IRQ))
+	d.Tel.Count(now, dv.CPU, telemetry.CtrGICDelivery, 1)
 	d.sink(dv)
 }
 

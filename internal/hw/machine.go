@@ -12,6 +12,7 @@ import (
 	"armvirt/internal/mem"
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 )
 
 // CPU is one physical CPU of the machine: architectural state, an
@@ -70,6 +71,10 @@ type Machine struct {
 	// records nothing. Attach one with SetRecorder before running
 	// experiments.
 	Rec *obs.Recorder
+	// Tel is the machine's telemetry sampler; nil (the default) samples
+	// nothing. Attach one with SetSampler — or build the machine under
+	// telemetry.Collect, which wires a sampler automatically.
+	Tel *telemetry.Sampler
 	// partitioned records that New placed each CPU on its own engine
 	// partition (Config.PartitionPerCPU).
 	partitioned bool
@@ -133,6 +138,9 @@ func New(cfg Config) *Machine {
 			m.Dist.PartOf = m.PartOf
 		}
 	}
+	if s := telemetry.BoundSampler(cfg.NCPU, cfg.Cost.FreqMHz); s != nil {
+		m.SetSampler(s)
+	}
 	return m
 }
 
@@ -188,6 +196,25 @@ func (m *Machine) SetRecorder(r *obs.Recorder) {
 	})
 }
 
+// SetSampler attaches (or, with nil, detaches) a telemetry sampler and
+// wires it into the GIC distributor. On a partitioned machine the sampler
+// is split to mirror the engine layout — pcpu i's samples land in
+// partition buffer i+1 — so hooks never contend across partitions and the
+// merged series is byte-identical at every worker count.
+func (m *Machine) SetSampler(s *telemetry.Sampler) {
+	m.Tel = s
+	if m.Dist != nil {
+		m.Dist.Tel = s
+	}
+	if s != nil && m.partitioned {
+		cpuPart := make([]int, len(m.CPUs))
+		for i := range cpuPart {
+			cpuPart[i] = i + 1
+		}
+		s.Partition(len(m.CPUs)+1, cpuPart)
+	}
+}
+
 // SendIPI dispatches a physical IPI from the current context to a target
 // CPU: the sender pays the dispatch cost; delivery lands in the target's
 // IRQ inbox after the wire latency. On x86 there is no distributor; the
@@ -200,8 +227,10 @@ func (m *Machine) SendIPI(p *sim.Proc, to int, irq gic.IRQ) {
 		return
 	}
 	m.Eng.SendTo(m.PartOf(to), sim.Time(m.Cost.IPIWire), func() {
-		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, to, "", -1, "IPI", int64(irq))
-		m.CPUs[to].IRQ.Send(gic.Delivery{CPU: to, IRQ: irq})
+		now := m.Eng.Now()
+		m.Rec.Emit(now, obs.PhysIRQ, to, "", -1, "IPI", int64(irq))
+		m.Tel.Count(now, to, telemetry.CtrGICDelivery, 1)
+		m.CPUs[to].IRQ.Send(gic.Delivery{CPU: to, IRQ: irq, At: now})
 	})
 }
 
@@ -216,8 +245,10 @@ func (m *Machine) RaiseDeviceIRQ(irq gic.IRQ, target int) {
 		return
 	}
 	m.Eng.SendTo(m.PartOf(target), sim.Time(m.Cost.IPIWire), func() {
-		m.Rec.Emit(m.Eng.Now(), obs.PhysIRQ, target, "", -1, "MSI", int64(irq))
-		m.CPUs[target].IRQ.Send(gic.Delivery{CPU: target, IRQ: irq})
+		now := m.Eng.Now()
+		m.Rec.Emit(now, obs.PhysIRQ, target, "", -1, "MSI", int64(irq))
+		m.Tel.Count(now, target, telemetry.CtrGICDelivery, 1)
+		m.CPUs[target].IRQ.Send(gic.Delivery{CPU: target, IRQ: irq, At: now})
 	})
 }
 

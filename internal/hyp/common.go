@@ -55,10 +55,11 @@ func NewVMCommon(h Hypervisor, name string, vmid int, pin []int) *VM {
 		}
 		c := m.CPUs[pcpu]
 		v := &VCPU{
-			VM:  vm,
-			ID:  i,
-			Ctx: cpu.ContextID{Owner: name, VCPU: i},
-			CPU: c,
+			VM:     vm,
+			ID:     i,
+			Ctx:    cpu.ContextID{Owner: name, VCPU: i},
+			CPU:    c,
+			EnterT: -1,
 		}
 		if c.VIface != nil {
 			v.VgicImage = gic.Image{LRs: make([]gic.ListRegister, c.VIface.NumLRs())}

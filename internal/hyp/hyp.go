@@ -14,6 +14,7 @@ import (
 	"armvirt/internal/mem"
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 	"armvirt/internal/trace"
 )
 
@@ -98,14 +99,35 @@ type VCPU struct {
 	// Exits counts VM exits by reason, the statistic exit-rate studies
 	// report. Hypervisor implementations bump it on every guest exit.
 	Exits map[string]int64
+	// EnterT is the simulated time of the last GuestEnter, or -1 while the
+	// VCPU is not in a guest span. Emit maintains it to attribute the
+	// guest-mode interval to the telemetry sampler on the matching
+	// GuestExit.
+	EnterT sim.Time
 }
 
 // Emit publishes a structured observability event for this VCPU, stamped
 // with the current simulation time and the VCPU's pinned physical CPU.
-// No-op when the machine has no recorder attached.
+// No-op when the machine has no recorder attached. Emit is also the
+// telemetry choke point: every hypervisor implementation publishes
+// GuestEnter/GuestExit through here, so the guest-mode utilization series
+// and the per-reason exit counters hook in without touching either
+// hypervisor model.
 func (v *VCPU) Emit(k obs.Kind, detail string, arg int64) {
 	m := v.VM.Hyp.Machine()
-	m.Rec.Emit(m.Eng.Now(), k, v.CPU.P.ID(), v.VM.Name, v.ID, detail, arg)
+	now := m.Eng.Now()
+	pcpu := v.CPU.P.ID()
+	switch k {
+	case obs.GuestEnter:
+		v.EnterT = now
+	case obs.GuestExit:
+		if v.EnterT >= 0 {
+			m.Tel.AddPhaseSpan(pcpu, v.VM.Name, telemetry.PhaseGuest, v.EnterT, now)
+			v.EnterT = -1
+		}
+		m.Tel.IncExit(now, pcpu, v.VM.Name, detail)
+	}
+	m.Rec.Emit(now, k, pcpu, v.VM.Name, v.ID, detail, arg)
 }
 
 // CountExit records one VM exit with the given reason. It is the single
@@ -151,13 +173,21 @@ func (v *VCPU) DrainSoft() []gic.IRQ {
 
 // Charge makes the VCPU's current execution pay c cycles and attributes
 // them to name in the VCPU's breakdown recorder (if any) and, under the
-// fiber's current span stack, in the machine's profiler.
+// fiber's current span stack, in the machine's profiler. Cycles charged
+// outside a guest span (EnterT < 0, not !InGuest — CountExit closes the
+// span before the trap cost is charged while InGuest is still set) count
+// toward the telemetry hypervisor-utilization series.
 func (v *VCPU) Charge(p *sim.Proc, name string, c cpu.Cycles) {
 	if c <= 0 {
 		return
 	}
 	v.BR.Add(name, c)
-	v.VM.Hyp.Machine().Rec.ChargeCycles(p, name, int64(c))
+	m := v.VM.Hyp.Machine()
+	m.Rec.ChargeCycles(p, name, int64(c))
+	if v.EnterT < 0 {
+		t0 := p.Now()
+		m.Tel.AddPhaseSpan(v.CPU.P.ID(), v.VM.Name, telemetry.PhaseHyp, t0, t0+sim.Time(c))
+	}
 	p.Sleep(sim.Time(c))
 }
 

@@ -313,6 +313,9 @@ func (k *KVM) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	k.exitToHost(p, v)
 	v.Charge(p, "host: deschedule VCPU thread", k.c.BlockVCPU)
 	d := v.CPU.IRQ.Recv(p)
+	if d.At > 0 {
+		k.m.Tel.ObserveIRQLatency(v.CPU.P.ID(), p.Now()-d.At)
+	}
 	// The wake is a host-scheduler context switch from the idle thread
 	// back onto the VCPU thread: the PCPU changes VM context.
 	v.Emit(obs.VMSwitch, "vcpu-wake", int64(d.IRQ))

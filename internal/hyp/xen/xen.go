@@ -332,6 +332,9 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 		v.Charge(p, "schedule idle domain", x.c.SchedToIdle)
 		v.Emit(obs.VMSwitch, "to-idle", 0)
 		d := pc.IRQ.Recv(p)
+		if d.At > 0 {
+			x.m.Tel.ObserveIRQLatency(pc.P.ID(), p.Now()-d.At)
+		}
 		v.Charge(p, "Xen IRQ ack", x.c.PhysIRQAck)
 		v.Emit(obs.VMSwitch, "idle-wake", int64(d.IRQ))
 		v.Charge(p, "idle domain -> VCPU switch", x.c.IdleWakeSched)
@@ -353,6 +356,9 @@ func (x *Xen) BlockInGuest(p *sim.Proc, v *hyp.VCPU) {
 	v.Charge(p, "schedule idle domain", x.c.SchedToIdle)
 	v.Emit(obs.VMSwitch, "to-idle", 0)
 	d := pc.IRQ.Recv(p)
+	if d.At > 0 {
+		x.m.Tel.ObserveIRQLatency(pc.P.ID(), p.Now()-d.At)
+	}
 	v.Charge(p, "Xen GIC ack/EOI", x.c.PhysIRQAck)
 	v.Emit(obs.VMSwitch, "idle-wake", int64(d.IRQ))
 	v.Charge(p, "idle domain -> VCPU switch", x.c.IdleWakeSched)

@@ -9,6 +9,7 @@ import (
 	"armvirt/internal/hw"
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 	"armvirt/internal/vio"
 )
 
@@ -106,7 +107,9 @@ func (n *NIC) Receive(pk *vio.Packet) {
 			n.armed = false
 		}
 		n.irqs++
-		n.m.Rec.Emit(n.m.Eng.Now(), obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
+		now := n.m.Eng.Now()
+		n.m.Rec.Emit(now, obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
+		n.m.Tel.Count(now, -1, telemetry.CtrNICIRQ, 1)
 		n.m.RaiseDeviceIRQ(n.IRQ, n.Target)
 	}
 }
@@ -121,7 +124,9 @@ func (n *NIC) Rearm() {
 			n.armed = false
 		}
 		n.irqs++
-		n.m.Rec.Emit(n.m.Eng.Now(), obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
+		now := n.m.Eng.Now()
+		n.m.Rec.Emit(now, obs.IOKick, n.Target, "", -1, "nic-irq", int64(n.IRQ))
+		n.m.Tel.Count(now, -1, telemetry.CtrNICIRQ, 1)
 		n.m.RaiseDeviceIRQ(n.IRQ, n.Target)
 	}
 }

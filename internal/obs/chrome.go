@@ -62,6 +62,12 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, freqMHz int) error {
 	if freqMHz <= 0 {
 		return fmt.Errorf("obs: freqMHz must be positive, got %d", freqMHz)
 	}
+	return writeChromeJSON(w, buildChromeEvents(rec, freqMHz))
+}
+
+// buildChromeEvents assembles the pid 1/2 track events (metadata first) in
+// the deterministic order WriteChromeTrace documents.
+func buildChromeEvents(rec *Recorder, freqMHz int) []any {
 	us := func(t sim.Time) float64 { return float64(t) / float64(freqMHz) }
 
 	events := rec.Events()
@@ -188,7 +194,19 @@ func WriteChromeTrace(w io.Writer, rec *Recorder, freqMHz int) error {
 		})
 	}
 
-	all := append(meta, out...)
+	all := make([]any, 0, len(meta)+len(out))
+	for _, ev := range meta {
+		all = append(all, ev)
+	}
+	for _, ev := range out {
+		all = append(all, ev)
+	}
+	return all
+}
+
+// writeChromeJSON writes the events as a JSON array, one record per line —
+// the framing chrome://tracing and the jq assertions in CI both accept.
+func writeChromeJSON(w io.Writer, all []any) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"armvirt/internal/telemetry"
+)
+
+var updateCounters = flag.Bool("update", false, "rewrite golden files")
+
+// counterFixture builds a small deterministic recorder + telemetry series
+// pair touching every counter-track shape: per-CPU utilization, steal,
+// run-queue, exits by reason, and the machine-level counters track.
+func counterFixture() (*Recorder, []telemetry.Series) {
+	r := NewRecorder(2, 0)
+	r.Emit(0, GuestEnter, 0, "vm0", 0, "", 0)
+	emitPair(r, 1000, 1400, "hypercall")
+	r.Emit(1500, VirqInject, 1, "vm0", 0, "", 27)
+
+	s := telemetry.NewSampler(2, 2400, 2400) // 1us buckets at 2400 MHz
+	s.AddPhaseSpan(0, "vm0", telemetry.PhaseGuest, 0, 1000)
+	s.AddPhaseSpan(0, "vm0", telemetry.PhaseHyp, 1000, 1400)
+	s.AddPhaseSpan(0, "vm0", telemetry.PhaseGuest, 1400, 3000)
+	s.AddSteal(1, "", 500, 2600)
+	s.NoteRunQueue(600, 1, 3)
+	s.NoteRunQueue(2500, 1, 1)
+	s.IncExit(1000, 0, "vm0", "hypercall")
+	s.IncExit(2800, 0, "vm0", "wfi")
+	s.Count(100, -1, telemetry.CtrGICDelivery, 2)
+	s.Count(2700, -1, telemetry.CtrNICIRQ, 1)
+	s.ObserveIRQLatency(1, 120)
+	return r, []telemetry.Series{s.Series()}
+}
+
+// TestChromeCountersGolden pins the full rendered trace, counter tracks
+// included, to a golden file. Regenerate deliberately with `go test -update`.
+func TestChromeCountersGolden(t *testing.T) {
+	rec, series := counterFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithCounters(&buf, rec, 2400, series); err != nil {
+		t.Fatalf("WriteChromeTraceWithCounters: %v", err)
+	}
+	golden := filepath.Join("testdata", "counters.golden.json")
+	if *updateCounters {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace with counter tracks drifted from golden; run `go test -update` if deliberate\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeCountersSchema: counter events are well-formed "C" samples on
+// the telemetry pids, and every expected track appears.
+func TestChromeCountersSchema(t *testing.T) {
+	rec, series := counterFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithCounters(&buf, rec, 2400, series); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	tracks := map[string]bool{}
+	for _, e := range events {
+		if e["ph"] != "C" {
+			continue
+		}
+		if pid := int(e["pid"].(float64)); pid < pidCounterBase {
+			t.Fatalf("counter event on non-telemetry pid %d: %v", pid, e)
+		}
+		args, ok := e["args"].(map[string]any)
+		if !ok || len(args) == 0 {
+			t.Fatalf("counter event without args: %v", e)
+		}
+		tracks[e["name"].(string)] = true
+	}
+	for _, want := range []string{"pcpu0 util", "pcpu0 exits", "pcpu1 steal", "pcpu1 runq", "counters"} {
+		if !tracks[want] {
+			t.Errorf("missing counter track %q (have %v)", want, tracks)
+		}
+	}
+}
+
+// TestChromeCountersEmptySeriesDegenerates: nil or bucketless series add
+// nothing — the output is byte-identical to the plain trace.
+func TestChromeCountersEmptySeriesDegenerates(t *testing.T) {
+	rec, _ := counterFixture()
+	var plain bytes.Buffer
+	if err := WriteChromeTrace(&plain, rec, 2400); err != nil {
+		t.Fatal(err)
+	}
+	for name, series := range map[string][]telemetry.Series{
+		"nil":        nil,
+		"empty":      {},
+		"bucketless": {telemetry.NewSampler(2, 2400, 2400).Series()},
+	} {
+		var got bytes.Buffer
+		if err := WriteChromeTraceWithCounters(&got, rec, 2400, series); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got.Bytes(), plain.Bytes()) {
+			t.Errorf("%s series changed the trace bytes", name)
+		}
+	}
+}

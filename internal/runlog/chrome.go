@@ -39,6 +39,11 @@ type traceEventArgs struct {
 	Switch  int64  `json:"proc_switches,omitempty"`
 	Spawned int64  `json:"procs_spawned,omitempty"`
 	HeapHW  int64  `json:"heap_high_water,omitempty"`
+	// PDES health counters (multi-partition engines only; zero and
+	// therefore omitted for sequential engines).
+	Windows int64 `json:"windows,omitempty"`
+	Stall   int64 `json:"barrier_stall_cycles,omitempty"`
+	Outbox  int64 `json:"outbox_msgs,omitempty"`
 }
 
 // traceEvent is one trace record; field order matches the obs encoder's
@@ -104,7 +109,9 @@ func WriteChromeTrace(w io.Writer, e *Entry) error {
 	})
 
 	// Sim group: one engine-run event per engine on its own thread, with
-	// the deterministic counters as args.
+	// the deterministic counters as args. Multi-partition engines also get
+	// a counter event per partition carrying the PDES health breakdown —
+	// quantum windows, barrier-stall cycles, outbox messages.
 	for i, es := range e.Engines {
 		events = append(events, traceEvent{
 			Name: "engine run", Ph: "X", Ts: 0,
@@ -113,8 +120,24 @@ func WriteChromeTrace(w io.Writer, e *Entry) error {
 				Detail: "1us == 1 simulated cycle", Cycles: es.Cycles,
 				Events: es.Events, Switch: es.ProcSwitches,
 				Spawned: es.ProcsSpawned, HeapHW: es.HeapHighWater,
+				Windows: es.Windows, Stall: es.BarrierStallCycles,
+				Outbox: es.OutboxMsgs,
 			},
 		})
+		for _, ps := range es.Parts {
+			name := ps.Name
+			if name == "" {
+				name = fmt.Sprintf("part%d", ps.Part)
+			}
+			events = append(events, traceEvent{
+				Name: fmt.Sprintf("engine%d %s health", i, name), Ph: "C", Ts: 0,
+				Pid: pidSim, Tid: i,
+				Args: &traceEventArgs{
+					Events: ps.Events, Windows: ps.Windows,
+					Stall: ps.StallCycles, Outbox: ps.OutboxMsgs,
+				},
+			})
+		}
 	}
 
 	if _, err := io.WriteString(w, "[\n"); err != nil {

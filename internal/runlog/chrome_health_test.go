@@ -1,0 +1,99 @@
+package runlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"armvirt/internal/sim"
+)
+
+// partitionedEntry is goldenEntry with one engine carrying a per-partition
+// PDES health breakdown, the shape a partitioned fleet run records.
+func partitionedEntry() *Entry {
+	e := goldenEntry()
+	e.Engines = []sim.EngineStats{{
+		Engines: 1, Events: 4096, ProcSwitches: 512, ProcsSpawned: 9,
+		HeapHighWater: 33, Cycles: 250000,
+		Windows: 300, BarrierStallCycles: 12000, OutboxMsgs: 64,
+		Parts: []sim.PartStats{
+			{Part: 0, Name: "pcpu0", Events: 3000, Windows: 150, StallCycles: 2000, OutboxMsgs: 40},
+			{Part: 1, Events: 1096, Windows: 150, StallCycles: 10000, OutboxMsgs: 24},
+		},
+	}}
+	e.Engine = &e.Engines[0]
+	return e
+}
+
+// TestChromeTraceHealthCounters: a partitioned engine's trace export grows
+// per-partition "C" counter events alongside the engine span, and the span
+// itself carries the window/stall/outbox totals.
+func TestChromeTraceHealthCounters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, partitionedEntry()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	health := map[string]map[string]any{}
+	var engineArgs map[string]any
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "C":
+			if ev["pid"].(float64) != pidSim {
+				t.Errorf("health counter off the sim track: %v", ev)
+			}
+			health[ev["name"].(string)] = ev["args"].(map[string]any)
+		case "X":
+			if ev["pid"].(float64) == pidSim && engineArgs == nil {
+				engineArgs = ev["args"].(map[string]any)
+			}
+		}
+	}
+	if len(health) != 2 {
+		t.Fatalf("health tracks = %d, want 2 (one per partition): %v", len(health), health)
+	}
+	p0, ok := health["engine0 pcpu0 health"]
+	if !ok {
+		t.Fatalf("missing named-partition track, have %v", health)
+	}
+	if p0["barrier_stall_cycles"].(float64) != 2000 || p0["outbox_msgs"].(float64) != 40 ||
+		p0["windows"].(float64) != 150 || p0["events"].(float64) != 3000 {
+		t.Errorf("partition 0 args wrong: %v", p0)
+	}
+	if _, ok := health["engine0 part1 health"]; !ok {
+		t.Errorf("unnamed partition did not fall back to partN label, have %v", health)
+	}
+	if engineArgs == nil {
+		t.Fatal("no engine span on the sim track")
+	}
+	if engineArgs["barrier_stall_cycles"].(float64) != 12000 ||
+		engineArgs["windows"].(float64) != 300 || engineArgs["outbox_msgs"].(float64) != 64 {
+		t.Errorf("engine span args missing health totals: %v", engineArgs)
+	}
+}
+
+// TestChromeTraceNoHealthWithoutParts: sequential engines (no Parts) keep
+// the pre-existing trace shape — no "C" events, no health keys in args.
+func TestChromeTraceNoHealthWithoutParts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEntry()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev["ph"] == "C" {
+			t.Errorf("sequential entry emitted a health counter: %v", ev)
+		}
+		if args, ok := ev["args"].(map[string]any); ok {
+			if _, has := args["barrier_stall_cycles"]; has {
+				t.Errorf("sequential entry args carry health keys: %v", ev)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 )
 
 // Layout is a machine's CPU partitioning.
@@ -77,9 +78,16 @@ type Dispatcher struct {
 	res     []*sim.Resource
 	backlog []sim.Time
 	busy    []sim.Time
+	queued  []int64
 	// Rec, when non-nil, receives a SchedDecision event for every
 	// balanced placement.
 	Rec *obs.Recorder
+	// Tel, when non-nil, records run-queue depth and steal time (cycles a
+	// fiber waited for its resource) per execution.
+	Tel *telemetry.Sampler
+	// TelCPU maps resource index -> the physical CPU its telemetry lands
+	// on; nil means resource i is CPU i.
+	TelCPU []int
 }
 
 // NewDispatcher builds a dispatcher over n resources on eng, named with
@@ -90,11 +98,20 @@ func NewDispatcher(eng *sim.Engine, prefix string, n int) *Dispatcher {
 		res:     make([]*sim.Resource, n),
 		backlog: make([]sim.Time, n),
 		busy:    make([]sim.Time, n),
+		queued:  make([]int64, n),
 	}
 	for i := range d.res {
 		d.res[i] = sim.NewResource(eng, fmt.Sprintf("%s%d", prefix, i))
 	}
 	return d
+}
+
+// telCPU resolves the physical CPU resource i reports telemetry under.
+func (d *Dispatcher) telCPU(i int) int {
+	if d.TelCPU != nil {
+		return d.TelCPU[i]
+	}
+	return i
 }
 
 // N returns the resource count.
@@ -111,14 +128,22 @@ func (d *Dispatcher) LeastLoaded() int {
 	return best
 }
 
-// ExecOn runs cost cycles of exclusive work on resource i.
+// ExecOn runs cost cycles of exclusive work on resource i. The wait for
+// the resource — the interval between requesting it and holding it —
+// counts as steal time on the resource's CPU, and the number of fibers
+// queued on the resource feeds the run-queue depth series.
 func (d *Dispatcher) ExecOn(p *sim.Proc, i int, cost sim.Time) {
 	d.backlog[i] += cost
+	d.queued[i]++
+	d.Tel.NoteRunQueue(p.Now(), d.telCPU(i), d.queued[i])
+	t0 := p.Now()
 	d.res[i].Acquire(p)
+	d.Tel.AddSteal(d.telCPU(i), "", t0, p.Now())
 	d.Rec.ChargeCycles(p, "dispatch exec", int64(cost))
 	p.Sleep(cost)
 	d.busy[i] += cost
 	d.backlog[i] -= cost
+	d.queued[i]--
 	d.res[i].Release(p)
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +23,10 @@ type Metrics struct {
 	latency  map[string]*stats.Histogram // endpoint -> microseconds
 	stage    map[string]*stats.Histogram // request stage -> microseconds
 	panics   int64
+	// telemetry volume from /v1/experiments/{id}/timeseries computes:
+	// series rendered and simulated-time samples recorded.
+	telSeries  int64
+	telSamples int64
 }
 
 // reqKey locates one request counter.
@@ -75,6 +80,15 @@ func (m *Metrics) ObserveStage(stage string, us int64) {
 	h.Observe(us)
 }
 
+// AddTelemetry counts one timeseries compute's telemetry volume: series
+// rendered and simulated-time samples recorded across its samplers.
+func (m *Metrics) AddTelemetry(series int, samples int64) {
+	m.mu.Lock()
+	m.telSeries += int64(series)
+	m.telSamples += samples
+	m.mu.Unlock()
+}
+
 // latencyQuantiles are the quantiles exported per endpoint.
 var latencyQuantiles = []float64{0.50, 0.95, 0.99}
 
@@ -87,6 +101,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats,
 
 	var b []byte
 	p := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+
+	p("# HELP armvirt_build_info Build information; the value is always 1.\n")
+	p("# TYPE armvirt_build_info gauge\n")
+	p("armvirt_build_info{go_version=%q,goos=%q,goarch=%q} 1\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
 
 	p("# HELP armvirt_requests_total HTTP requests by endpoint and status code.\n")
 	p("# TYPE armvirt_requests_total counter\n")
@@ -181,6 +200,13 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats,
 		p("armvirt_stage_latency_us_sum{stage=%q} %d\n", st, h.Sum())
 		p("armvirt_stage_latency_us_count{stage=%q} %d\n", st, h.N())
 	}
+
+	p("# HELP armvirt_telemetry_series_total Telemetry series rendered by timeseries computes.\n")
+	p("# TYPE armvirt_telemetry_series_total counter\n")
+	p("armvirt_telemetry_series_total %d\n", m.telSeries)
+	p("# HELP armvirt_telemetry_samples_total Simulated-time telemetry samples recorded by timeseries computes.\n")
+	p("# TYPE armvirt_telemetry_samples_total counter\n")
+	p("armvirt_telemetry_samples_total %d\n", m.telSamples)
 
 	p("# HELP armvirt_runlog_entries Run-ledger entries resident in memory.\n")
 	p("# TYPE armvirt_runlog_entries gauge\n")

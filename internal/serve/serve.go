@@ -127,6 +127,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.Handle("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
+	s.mux.Handle("GET /v1/experiments/{id}/timeseries", s.instrument("timeseries", s.handleTimeseries))
 	s.mux.Handle("GET /v1/profile/{platform}/{op}", s.instrument("profile", s.handleProfile))
 	s.mux.Handle("GET /v1/runs", s.instrument("runs", s.handleRuns))
 	s.mux.Handle("GET /v1/runs/{id}", s.instrument("run", s.handleRun))

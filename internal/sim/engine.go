@@ -132,6 +132,14 @@ type shard struct {
 	statSwitches int64
 	statSpawned  int64
 	statHeapHW   int
+
+	// PDES health counters (multi-partition only): quantum windows this
+	// shard participated in, cycles its clock lagged the window bound at
+	// the barrier, and messages it buffered for other partitions. All
+	// three are pure functions of event timestamps, never wall time.
+	statWindows int64
+	statStall   int64
+	statMsgs    int64
 }
 
 // xmsg is a timestamped inter-partition message. Messages are buffered in

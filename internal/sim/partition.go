@@ -115,6 +115,7 @@ func (e *Engine) SendTo(part PartID, d Time, fn func()) {
 		panic(fmt.Sprintf("sim: SendTo delay %d below lookahead %d (partition %d -> %d)", d, e.lookahead, src.id, part))
 	}
 	src.sendSeq++
+	src.statMsgs++
 	src.outbox = append(src.outbox, xmsg{
 		at:   src.now + d,
 		from: src.id,
@@ -185,6 +186,17 @@ func (e *Engine) runQuanta(deadline Time, hasDeadline bool) {
 			}
 		} else {
 			pool.dispatch(active, limit)
+		}
+		// Health counters, coordinator-side (single-threaded at the
+		// barrier): each active shard participated in one window; the gap
+		// between its clock and the window bound is the stall other
+		// partitions could not overlap — a pure function of event
+		// timestamps, so it is identical at every worker count.
+		for _, s := range active {
+			s.statWindows++
+			if limit != math.MaxInt64 && s.now < limit {
+				s.statStall += int64(limit - s.now)
+			}
 		}
 		msgs = e.drainOutboxes(msgs)
 		if e.stopAll.Load() {

@@ -100,7 +100,7 @@ func TestPartitionedDeterministicAcrossWorkers(t *testing.T) {
 				t.Fatalf("seed %d: workers=%d log diverged from workers=1\nserial: %v\nparallel: %v",
 					seed, workers, base, got)
 			}
-			if baseStats != gotStats {
+			if !reflect.DeepEqual(baseStats, gotStats) {
 				t.Fatalf("seed %d: workers=%d stats %+v != serial %+v", seed, workers, gotStats, baseStats)
 			}
 			if !reflect.DeepEqual(baseParked, gotParked) {
@@ -122,7 +122,7 @@ func TestPartitionedRunUntilAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(base, got) {
 			t.Fatalf("workers=%d RunUntil log diverged\nserial: %v\nparallel: %v", workers, base, got)
 		}
-		if baseStats != gotStats {
+		if !reflect.DeepEqual(baseStats, gotStats) {
 			t.Fatalf("workers=%d RunUntil stats %+v != %+v", workers, gotStats, baseStats)
 		}
 		if !reflect.DeepEqual(baseParked, gotParked) {
@@ -358,7 +358,7 @@ func TestBindParallelism(t *testing.T) {
 func TestPartitionedEngineStatsAcrossWorkersMatchSerialMerge(t *testing.T) {
 	_, s1, _ := partitionedRun(t, 1, 99, 0)
 	_, s8, _ := partitionedRun(t, 8, 99, 0)
-	if s1 != s8 {
+	if !reflect.DeepEqual(s1, s8) {
 		t.Fatalf("stats differ across worker counts: %+v vs %+v", s1, s8)
 	}
 	if s1.Events == 0 || s1.ProcsSpawned == 0 {

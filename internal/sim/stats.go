@@ -39,10 +39,47 @@ type EngineStats struct {
 	HeapHighWater int64 `json:"heap_high_water"`
 	// Cycles is the engine's final virtual clock — total simulated cycles.
 	Cycles int64 `json:"cycles"`
+
+	// PDES health counters, nonzero only for multi-partition engines:
+	// Windows counts per-partition quantum-window participations,
+	// BarrierStallCycles the simulated cycles partitions lagged the window
+	// bound at barriers, OutboxMsgs the cross-partition messages buffered.
+	// All are functions of event timestamps alone, so they are identical
+	// at every worker count.
+	Windows            int64 `json:"windows,omitempty"`
+	BarrierStallCycles int64 `json:"barrier_stall_cycles,omitempty"`
+	OutboxMsgs         int64 `json:"outbox_msgs,omitempty"`
+	// Parts breaks the health counters down per partition. Only
+	// single-engine snapshots keep the breakdown; merging two engines
+	// drops it (there is no meaningful cross-engine partition identity),
+	// which keeps Merge order-independent.
+	Parts []PartStats `json:"parts,omitempty"`
+}
+
+// PartStats is one partition's slice of an engine's health counters.
+type PartStats struct {
+	// Part is the partition id; Name its diagnostic name.
+	Part int    `json:"part"`
+	Name string `json:"name,omitempty"`
+	// Events is the events the partition dispatched; Windows the quantum
+	// windows it participated in; StallCycles the cycles its clock lagged
+	// the window bound at barriers; OutboxMsgs the messages it sent to
+	// other partitions.
+	Events      int64 `json:"events"`
+	Windows     int64 `json:"windows"`
+	StallCycles int64 `json:"barrier_stall_cycles"`
+	OutboxMsgs  int64 `json:"outbox_msgs"`
 }
 
 // Merge folds o into s: counters sum, HeapHighWater takes the maximum.
+// The per-partition breakdown survives only while the fold holds a single
+// engine; folding a second engine in clears it, in either order.
 func (s *EngineStats) Merge(o EngineStats) {
+	if s.Engines == 0 {
+		s.Parts = o.Parts
+	} else if o.Engines > 0 {
+		s.Parts = nil
+	}
 	s.Engines += o.Engines
 	s.Events += o.Events
 	s.ProcSwitches += o.ProcSwitches
@@ -51,6 +88,9 @@ func (s *EngineStats) Merge(o EngineStats) {
 		s.HeapHighWater = o.HeapHighWater
 	}
 	s.Cycles += o.Cycles
+	s.Windows += o.Windows
+	s.BarrierStallCycles += o.BarrierStallCycles
+	s.OutboxMsgs += o.OutboxMsgs
 }
 
 // Stats returns the engine's work counters, folded across its partitions:
@@ -70,6 +110,19 @@ func (e *Engine) Stats() EngineStats {
 		}
 		if int64(s.now) > st.Cycles {
 			st.Cycles = int64(s.now)
+		}
+	}
+	if len(e.parts) > 1 {
+		st.Parts = make([]PartStats, len(e.parts))
+		for i, s := range e.parts {
+			st.Windows += s.statWindows
+			st.BarrierStallCycles += s.statStall
+			st.OutboxMsgs += s.statMsgs
+			st.Parts[i] = PartStats{
+				Part: int(s.id), Name: s.name,
+				Events: s.statEvents, Windows: s.statWindows,
+				StallCycles: s.statStall, OutboxMsgs: s.statMsgs,
+			}
 		}
 	}
 	return st

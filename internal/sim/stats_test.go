@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 )
@@ -54,7 +55,7 @@ func TestEngineStatsCounters(t *testing.T) {
 func TestEngineStatsDeterministic(t *testing.T) {
 	a := runSmallSim().Stats()
 	b := runSmallSim().Stats()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("stats differ across identical runs:\n  %+v\n  %+v", a, b)
 	}
 }
@@ -68,7 +69,7 @@ func TestStatsCollectorCollects(t *testing.T) {
 	if len(per) != 2 {
 		t.Fatalf("collected %d engines, want 2", len(per))
 	}
-	if per[0] != per[1] {
+	if !reflect.DeepEqual(per[0], per[1]) {
 		t.Errorf("identical runs collected different stats: %+v vs %+v", per[0], per[1])
 	}
 	total := c.Snapshot()
@@ -129,7 +130,7 @@ func TestInheritStatsPropagatesToWorkers(t *testing.T) {
 		ProcsSpawned: one.ProcsSpawned * 4, HeapHighWater: one.HeapHighWater,
 		Cycles: one.Cycles * 4,
 	}
-	if total != want {
+	if !reflect.DeepEqual(total, want) {
 		t.Errorf("snapshot across workers = %+v, want %+v", total, want)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"armvirt/internal/mem"
 	"armvirt/internal/obs"
 	"armvirt/internal/sim"
+	"armvirt/internal/telemetry"
 )
 
 // NetIf is a paravirtual network interface: an RX ring of guest-posted
@@ -25,10 +26,11 @@ type NetIf struct {
 	Tx *Ring
 	// s2 is the guest's Stage-2 table, consulted on backend access.
 	s2 *mem.S2Table
-	// eng/rec, when set via Observe, publish IOKick events for every
-	// backend ring access.
+	// eng/rec/tel, when set via Observe, publish IOKick events and
+	// telemetry counts for every backend ring access.
 	eng *sim.Engine
 	rec *obs.Recorder
+	tel *telemetry.Sampler
 }
 
 // NewNetIf creates an interface with the given ring sizes over the guest's
@@ -41,21 +43,27 @@ func NewNetIf(s2 *mem.S2Table, ringSize int) *NetIf {
 	}
 }
 
-// Observe attaches an observability recorder: each backend access to the
-// rings (vhost zero-copy or netback grant-copy, both directions) publishes
-// an IOKick event. Pass a nil recorder to detach.
-func (n *NetIf) Observe(eng *sim.Engine, rec *obs.Recorder) {
+// Observe attaches an observability recorder and a telemetry sampler:
+// each backend access to the rings (vhost zero-copy or netback grant-copy,
+// both directions) publishes an IOKick event and bumps the matching ring
+// counter. Either may be nil to record nothing on that side.
+func (n *NetIf) Observe(eng *sim.Engine, rec *obs.Recorder, tel *telemetry.Sampler) {
 	n.eng = eng
 	n.rec = rec
+	n.tel = tel
 }
 
 // observe publishes one backend ring access; pcpu is unknown at this
-// layer, so events land in the machine-level ring.
+// layer, so events land in the machine-level ring (telemetry partition 0).
 func (n *NetIf) observe(path string, arg int64) {
-	if n.rec == nil {
+	if n.eng == nil {
 		return
 	}
-	n.rec.Emit(n.eng.Now(), obs.IOKick, -1, "", -1, path, arg)
+	now := n.eng.Now()
+	if n.rec != nil {
+		n.rec.Emit(now, obs.IOKick, -1, "", -1, path, arg)
+	}
+	n.tel.Count(now, -1, path, 1)
 }
 
 // PostRxBuffer posts an empty guest buffer (by IPA) for incoming data.

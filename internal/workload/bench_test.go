@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"armvirt/internal/platform"
+	"armvirt/internal/sim"
 )
 
 // fleetBenchParams sizes the PDES speedup benchmark. The quantum window is
@@ -21,9 +22,16 @@ var fleetBenchParams = FleetParams{Fibers: 16, Tokens: 32, Hops: 30, Epochs: 6, 
 // tests in fleet_test.go pin that); only ns/op moves. On a multi-core
 // host par=4 should run at least 2x faster than par=1; on a single-core
 // host the levels collapse to roughly equal wall time.
+//
+// The reported PDES health counters (windows, stall-cycles, outbox-msgs,
+// plus a pN-stall-cycles breakdown per partition) are deterministic
+// per-run quantities from sim.EngineStats — identical at every worker
+// count — so BENCH_8.json can relate the speedup curve to how much
+// barrier stall the scenario carries and where it concentrates.
 func BenchmarkFleetSpeedup(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("par=%d", workers), func(b *testing.B) {
+			var es sim.EngineStats
 			for i := 0; i < b.N; i++ {
 				m := platform.ARMMachinePartitioned()
 				m.Eng.SetWorkers(workers)
@@ -31,6 +39,13 @@ func BenchmarkFleetSpeedup(b *testing.B) {
 				if r.Hops == 0 {
 					b.Fatal("degenerate fleet run")
 				}
+				es = m.Eng.Stats()
+			}
+			b.ReportMetric(float64(es.Windows), "windows")
+			b.ReportMetric(float64(es.BarrierStallCycles), "stall-cycles")
+			b.ReportMetric(float64(es.OutboxMsgs), "outbox-msgs")
+			for _, ps := range es.Parts {
+				b.ReportMetric(float64(ps.StallCycles), fmt.Sprintf("p%d-stall-cycles", ps.Part))
 			}
 		})
 	}

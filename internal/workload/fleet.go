@@ -5,6 +5,7 @@ import (
 
 	"armvirt/internal/gic"
 	"armvirt/internal/hw"
+	"armvirt/internal/sched"
 	"armvirt/internal/sim"
 )
 
@@ -24,6 +25,13 @@ type FleetParams struct {
 	Epochs int
 	// HopCycles is the compute charged per hop (200).
 	HopCycles int64
+	// ContendRounds is the number of serialized run-queue rounds each
+	// worker executes in the closing contended phase (4). Every worker on
+	// a CPU races for one dispatcher slot, so all but the holder accrue
+	// steal time — the telemetry the phase exists to exercise.
+	ContendRounds int
+	// ContendCycles is the exclusive work per contended round (400).
+	ContendCycles int64
 	// IRQ is the SGI number the epoch barrier uses (1).
 	IRQ gic.IRQ
 }
@@ -43,6 +51,12 @@ func (pr FleetParams) withDefaults() FleetParams {
 	}
 	if pr.HopCycles == 0 {
 		pr.HopCycles = 200
+	}
+	if pr.ContendRounds == 0 {
+		pr.ContendRounds = 4
+	}
+	if pr.ContendCycles == 0 {
+		pr.ContendCycles = 400
 	}
 	if pr.Fibers < 2 {
 		panic("workload: fleet needs at least a leader and one worker per CPU")
@@ -109,12 +123,20 @@ func Fleet(m *hw.Machine, pr FleetParams) FleetResult {
 	n := m.NCPU()
 	res := FleetResult{CPUs: n, Parts: eng.Partitions(), PerCPU: make([]FleetCPU, n)}
 	finish := make([]sim.Time, n) // per-CPU slot: leaders may run on parallel partitions
+	wfin := make([]sim.Time, n)   // per-CPU max worker finish (contended phase)
 
 	for c := 0; c < n; c++ {
 		c := c
 		st := &res.PerCPU[c]
 		st.Checksum = fold(fnvOffset, uint64(c))
 		part := m.PartOf(c)
+		// rq is the CPU's single run-queue slot for the contended closing
+		// phase: workers racing for it model an oversubscribed scheduler
+		// and feed the steal-time and run-queue-depth telemetry series.
+		rq := sched.NewDispatcher(eng, fmt.Sprintf("fleet%d.rq", c), 1)
+		rq.Rec = m.Rec
+		rq.Tel = m.Tel
+		rq.TelCPU = []int{c}
 		inbox := make([]*sim.Queue[fleetToken], pr.Fibers)
 		for f := 0; f < pr.Fibers; f++ {
 			inbox[f] = sim.NewQueue[fleetToken](eng, fmt.Sprintf("fleet%d.in%d", c, f))
@@ -136,6 +158,19 @@ func Fleet(m *hw.Machine, pr FleetParams) FleetResult {
 					if tok.stop {
 						if next(f) != 1 {
 							inbox[next(f)].Send(tok)
+						}
+						// Contended phase: every worker funnels through
+						// the CPU's one run-queue slot, so all but the
+						// current holder wait — measurable steal time.
+						// The checksum folds each round's completion
+						// time, keeping the phase byte-falsifiable.
+						for r := 0; r < pr.ContendRounds; r++ {
+							rq.ExecOn(p, 0, sim.Time(pr.ContendCycles))
+							st.Checksum = fold(st.Checksum, uint64(f)<<32|uint64(r))
+							st.Checksum = fold(st.Checksum, uint64(p.Now()))
+						}
+						if p.Now() > wfin[c] {
+							wfin[c] = p.Now()
 						}
 						return
 					}
@@ -165,6 +200,9 @@ func Fleet(m *hw.Machine, pr FleetParams) FleetResult {
 				// previous one's kick.
 				m.SendIPI(p, (c+1)%n, pr.IRQ)
 				dv := m.CPUs[c].IRQ.Recv(p)
+				if dv.At > 0 {
+					m.Tel.ObserveIRQLatency(c, p.Now()-dv.At)
+				}
 				st.IPIs++
 				st.Checksum = fold(st.Checksum, uint64(dv.IRQ))
 				st.Checksum = fold(st.Checksum, uint64(p.Now()))
@@ -177,6 +215,11 @@ func Fleet(m *hw.Machine, pr FleetParams) FleetResult {
 
 	res.Checksum = fnvOffset
 	for _, t := range finish {
+		if t > res.Elapsed {
+			res.Elapsed = t
+		}
+	}
+	for _, t := range wfin {
 		if t > res.Elapsed {
 			res.Elapsed = t
 		}

@@ -56,7 +56,7 @@ func TestFleetDeterministicAcrossWorkers(t *testing.T) {
 		if prof != baseProf {
 			t.Fatalf("workers=%d: folded profile differs\n got %q\nwant %q", workers, prof, baseProf)
 		}
-		if stats != baseStats {
+		if !reflect.DeepEqual(stats, baseStats) {
 			t.Fatalf("workers=%d: engine stats differ\n got %+v\nwant %+v", workers, stats, baseStats)
 		}
 	}

@@ -181,7 +181,7 @@ func tcprrKVM(h hyp.Hypervisor, prm Params) TCPRRResult {
 	// are checked against the guest's mappings (zero copy means direct
 	// access to guest memory — §II).
 	netif := vio.NewNetIf(vm.S2, f.total+nRxBufs)
-	netif.Observe(m.Eng, m.Rec)
+	netif.Observe(m.Eng, m.Rec, m.Tel)
 
 	// Host receive path: NIC IRQ -> host stack -> bridge/tap -> vhost,
 	// which DMAs into the guest-posted buffer and notifies through
@@ -275,7 +275,7 @@ func tcprrXen(h hyp.Hypervisor, prm Params) TCPRRResult {
 	b := hyp.NewBackend(eng, "netback", m.CPUs[4])
 	b.Dom0VCPU = d0v
 	netif := vio.NewNetIf(vm.S2, f.total+nRxBufs)
-	netif.Observe(m.Eng, m.Rec)
+	netif.Observe(m.Eng, m.Rec, m.Tel)
 	grants := vio.NewGrantTable(vio.GrantCosts{
 		Map:         900,
 		Unmap:       400,
