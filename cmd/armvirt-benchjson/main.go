@@ -15,11 +15,17 @@
 // host_cpus spans the worker counts: on a single-core host every level
 // collapses to roughly 1x by construction.
 //
-// Usage: armvirt-benchjson [-out FILE] [bench-output.txt ...]
+// Input files whose first non-space byte is '{' are instead parsed as
+// armvirt-loadgen -json reports (cluster.LoadReport) and collected
+// under "loadgen" — serving-tier trajectory points (latency quantiles,
+// achieved throughput, shed rate) alongside the engine benchmarks.
+//
+// Usage: armvirt-benchjson [-out FILE] [bench-output.txt|loadgen.json ...]
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +35,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"armvirt/internal/cluster"
 )
 
 // Result is one parsed benchmark line. Extra carries any custom
@@ -63,6 +71,9 @@ type Doc struct {
 	HostCPUs   int       `json:"host_cpus"`
 	Benchmarks []Result  `json:"benchmarks"`
 	Speedups   []Speedup `json:"speedups,omitempty"`
+	// Loadgen holds armvirt-loadgen report documents given as inputs:
+	// the serving-tier side of the perf trajectory.
+	Loadgen []cluster.LoadReport `json:"loadgen,omitempty"`
 }
 
 func main() {
@@ -71,7 +82,7 @@ func main() {
 
 	doc := Doc{HostCPUs: runtime.NumCPU()}
 	if flag.NArg() == 0 {
-		if err := parse(os.Stdin, &doc); err != nil {
+		if err := ingest(os.Stdin, &doc); err != nil {
 			fatal(err)
 		}
 	}
@@ -80,14 +91,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		err = parse(f, &doc)
+		err = ingest(f, &doc)
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
-	if len(doc.Benchmarks) == 0 {
-		fatal(fmt.Errorf("no benchmark result lines found"))
+	if len(doc.Benchmarks) == 0 && len(doc.Loadgen) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines or loadgen reports found"))
 	}
 	doc.Speedups = derive(doc.Benchmarks)
 
@@ -108,6 +119,31 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "armvirt-benchjson:", err)
 	os.Exit(1)
+}
+
+// ingest routes one input stream by sniffing its first non-space byte:
+// '{' means an armvirt-loadgen JSON report, anything else is `go test
+// -bench` text.
+func ingest(r io.Reader, doc *Doc) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	trimmed := bytes.TrimLeftFunc(buf, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var rep cluster.LoadReport
+		if err := json.Unmarshal(trimmed, &rep); err != nil {
+			return fmt.Errorf("parsing loadgen report: %w", err)
+		}
+		if rep.Kind != "armvirt-loadgen" {
+			return fmt.Errorf("JSON input has kind %q, want \"armvirt-loadgen\"", rep.Kind)
+		}
+		doc.Loadgen = append(doc.Loadgen, rep)
+		return nil
+	}
+	return parse(bytes.NewReader(buf), doc)
 }
 
 // parse consumes one `go test -bench` output stream: header lines fill the

@@ -68,6 +68,47 @@ func TestParseAndDerive(t *testing.T) {
 	}
 }
 
+func TestIngestSniffsLoadgenJSON(t *testing.T) {
+	var doc Doc
+	rep := `
+	{
+	  "kind": "armvirt-loadgen",
+	  "targets": ["http://127.0.0.1:18181"],
+	  "paths": ["/v1/experiments/T1?format=json"],
+	  "offered_rps": 40,
+	  "duration_s": 5,
+	  "sent": 200, "ok": 198, "shed": 2, "errors": 0, "not_ready_skips": 0,
+	  "achieved_rps": 39.4, "shed_rate": 0.01,
+	  "latency_us": {"p50": 900, "p95": 3100, "p99": 6000, "mean": 1200, "max": 8191, "n": 198},
+	  "outcomes": {"hit": 190, "miss": 8},
+	  "forwarded": 60
+	}`
+	if err := ingest(strings.NewReader(rep), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ingest(strings.NewReader(sample), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Loadgen) != 1 {
+		t.Fatalf("ingested %d loadgen reports, want 1", len(doc.Loadgen))
+	}
+	lg := doc.Loadgen[0]
+	if lg.OK != 198 || lg.Latency.P99 != 6000 || lg.Outcomes["hit"] != 190 || lg.Forwarded != 60 {
+		t.Fatalf("loadgen report fields wrong: %+v", lg)
+	}
+	if len(doc.Benchmarks) != 6 {
+		t.Fatalf("bench text still parses after a JSON input: %d benchmarks, want 6", len(doc.Benchmarks))
+	}
+
+	// Non-loadgen JSON is an error, not a silent skip.
+	if err := ingest(strings.NewReader(`{"kind":"other"}`), &doc); err == nil {
+		t.Fatal("ingest accepted JSON with the wrong kind")
+	}
+	if err := ingest(strings.NewReader(`{broken`), &doc); err == nil {
+		t.Fatal("ingest accepted malformed JSON")
+	}
+}
+
 func TestParseLineRejectsNonResults(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkFoo",

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"armvirt/internal/cluster"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitList = %v, want %v", got, want)
+		}
+	}
+	if splitList(" , ") != nil {
+		t.Error("blank list should be nil")
+	}
+}
+
+func TestCollectorClassification(t *testing.T) {
+	c := newCollector()
+	c.observe(200, "hit", "", 3*time.Millisecond)
+	c.observe(200, "miss", "r2", 9*time.Millisecond)
+	c.observe(429, "", "", time.Millisecond)
+	c.observe(500, "", "", time.Millisecond)
+	c.observe(0, "", "", 0) // transport error
+
+	if c.ok != 2 || c.shed != 1 || c.errors != 2 {
+		t.Fatalf("ok/shed/errors = %d/%d/%d, want 2/1/2", c.ok, c.shed, c.errors)
+	}
+	if c.forwarded != 1 {
+		t.Fatalf("forwarded = %d, want 1", c.forwarded)
+	}
+	if c.outcomes["hit"] != 1 || c.outcomes["miss"] != 1 {
+		t.Fatalf("outcomes = %v", c.outcomes)
+	}
+	if c.status["200"] != 2 || c.status["429"] != 1 || c.status["0"] != 1 {
+		t.Fatalf("status = %v", c.status)
+	}
+	// Only OK responses contribute latency samples.
+	if c.lat.N() != 2 {
+		t.Fatalf("latency samples = %d, want 2", c.lat.N())
+	}
+}
+
+func TestReadinessGatesUnreadyTargets(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if !ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	}))
+	defer up.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+
+	rd := newReadiness([]string{up.URL, down.URL}, &http.Client{Timeout: time.Second})
+	for i := 0; i < 4; i++ {
+		if got := rd.next(); got != up.URL {
+			t.Fatalf("next() = %q, want the ready target %q", got, up.URL)
+		}
+	}
+
+	// The ready target drains: the flip is observed on the next poll and
+	// arrivals start skipping.
+	ready.Store(false)
+	rd.pollOnce()
+	if got := rd.next(); got != "" {
+		t.Fatalf("next() = %q after drain, want no ready target", got)
+	}
+	skips, unready := rd.snapshot()
+	if skips != 1 {
+		t.Fatalf("skips = %d, want 1", skips)
+	}
+	if unready[up.URL] == 0 || unready[down.URL] == 0 {
+		t.Fatalf("unready = %v, want both targets counted", unready)
+	}
+}
+
+func TestPrintTextSummary(t *testing.T) {
+	rep := cluster.LoadReport{
+		Kind: "armvirt-loadgen", Targets: []string{"a", "b"}, Paths: []string{"/x"},
+		OfferedRPS: 20, DurationS: 5, Sent: 100, OK: 90, Shed: 8, Errors: 2,
+		AchievedRPS: 18, ShedRate: 0.08, Forwarded: 30,
+		Outcomes: map[string]int64{"hit": 70, "miss": 20},
+		Status:   map[string]int64{"200": 90, "429": 8},
+		Latency:  cluster.LatencySummary{P50: 1000, P95: 4000, P99: 8000, Mean: 1500, Max: 9000, N: 90},
+	}
+	var buf bytes.Buffer
+	printText(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{
+		"100 sent", "ok 90", "shed 8", "errors 2", "forwarded 30",
+		"p50 1000", "p99 8000", "hit=70", "429=8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -16,7 +16,16 @@
 // queue, shedding excess load with 429. Every request is recorded in the
 // run ledger (-ledger persists it as JSONL; armvirt-runs queries the
 // file offline) and browsable live at /v1/runs. SIGINT/SIGTERM trigger
-// graceful shutdown: stop accepting, drain in-flight runs, then exit.
+// graceful shutdown: flip /readyz to 503, wait -drain-delay for load
+// balancers to notice, stop accepting, drain in-flight runs, then exit.
+//
+// With -name and -peers the daemon joins a consistent-hash replica set
+// (DESIGN.md §13): each cache key has one owning replica, requests
+// arriving elsewhere are forwarded to it, and -disk gives each replica
+// a disk-backed cache tier that survives restarts.
+//
+//	armvirt-serve -addr :8081 -name r1 -disk /var/cache/armvirt-r1 \
+//	  -peers r1=http://127.0.0.1:8081,r2=http://127.0.0.1:8082
 package main
 
 import (
@@ -28,12 +37,37 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"armvirt/internal/cluster"
 	"armvirt/internal/runlog"
 	"armvirt/internal/serve"
 )
+
+// parsePeers parses a -peers value: comma-separated name=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", pair)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate -peers name %q", name)
+		}
+		peers[name] = url
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -42,9 +76,15 @@ func main() {
 	queue := flag.Int("queue", 64, "max requests waiting for a worker before 429")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request admission timeout")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for in-flight connections")
+	drainDelay := flag.Duration("drain-delay", 0, "pause between flipping /readyz to 503 and closing the listener")
 	ledgerPath := flag.String("ledger", "", "run-ledger JSONL file (empty: in-memory only)")
 	ledgerMB := flag.Int64("ledger-mb", 8, "ledger file byte cap in MiB before rotation")
 	ledgerKeep := flag.Int("ledger-keep", 512, "ledger entries kept in memory for /v1/runs")
+	name := flag.String("name", "", "this replica's name in -peers (empty: not clustered)")
+	peersFlag := flag.String("peers", "", "replica set as name=url,... (requires -name, listed in it)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0: default)")
+	diskDir := flag.String("disk", "", "disk cache-tier directory (empty: memory-only cache)")
+	diskMB := flag.Int64("disk-mb", 256, "disk cache-tier byte budget in MiB")
 	flag.Parse()
 
 	lg, err := runlog.Open(*ledgerPath, *ledgerMB<<20, *ledgerKeep)
@@ -54,13 +94,39 @@ func main() {
 	}
 	defer lg.Close()
 
+	var disk *cluster.DiskCache
+	if *diskDir != "" {
+		disk, err = cluster.OpenDisk(*diskDir, *diskMB<<20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "armvirt-serve: disk tier: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		CacheBytes: *cacheMB << 20,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Ledger:     lg,
+		Disk:       disk,
 	})
+	if (*name == "") != (*peersFlag == "") {
+		fmt.Fprintln(os.Stderr, "armvirt-serve: -name and -peers must be set together")
+		os.Exit(2)
+	}
+	if *name != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "armvirt-serve: %v\n", err)
+			os.Exit(2)
+		}
+		if err := srv.SetCluster(*name, peers, *vnodes); err != nil {
+			fmt.Fprintf(os.Stderr, "armvirt-serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "armvirt-serve: replica %q in a %d-replica cluster\n", *name, len(peers))
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,7 +148,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Flip /readyz before closing the listener so a balancer polling it
+	// stops routing here while we can still answer; -drain-delay gives
+	// it time to observe the flip.
+	srv.SetReady(false)
 	fmt.Fprintln(os.Stderr, "armvirt-serve: shutting down, draining in-flight runs")
+	if *drainDelay > 0 {
+		time.Sleep(*drainDelay)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

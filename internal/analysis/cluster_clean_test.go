@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestClusterVetClean pins the cluster subsystem's analyzer contract,
+// mirroring TestRunlogVetClean: internal/cluster and the load
+// generator are wall-clock-side serving infrastructure by design —
+// OUTSIDE the detclock scope, never imported by the deterministic
+// packages — so they must stay clean under the whole analyzer suite
+// with zero armvirt:wallclock escape directives (the wall clock is
+// legal there, not escaped).
+func TestClusterVetClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // internal/analysis -> module root
+	for _, rel := range []string{"./internal/cluster", "./cmd/armvirt-loadgen"} {
+		pkgs, err := Load(root, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkgs) == 0 {
+			t.Fatalf("loaded no packages for %s", rel)
+		}
+		diags, err := Run(Analyzers(), pkgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s not vet-clean: %s", rel, fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer))
+		}
+
+		// No escape directives: wall-clock-side packages must not need them.
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(b, []byte("armvirt:wallclock")) {
+				t.Errorf("%s/%s contains an armvirt:wallclock directive; the cluster tier is outside the detclock scope and must not need one",
+					rel, e.Name())
+			}
+		}
+	}
+}

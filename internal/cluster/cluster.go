@@ -1,0 +1,124 @@
+// Package cluster grows the serve tier (internal/serve, DESIGN.md §8)
+// from a single daemon into a shardable replica set. Three pieces:
+//
+//   - Ring: a consistent-hash ring over replica names. The serve cache's
+//     keys are content addresses (experiment ID + study hash + format),
+//     so an entry is location-independent and every replica derives the
+//     same owner for a key from nothing but the shared peer list — no
+//     coordinator, no membership protocol, no key exchange.
+//
+//   - Forwarder: HTTP request forwarding from any replica to a key's
+//     owner. Combined with the owner's local singleflight, this gives
+//     cluster-wide deduplication: a cold experiment runs exactly once
+//     per cluster, not once per replica, because every replica routes
+//     the key to the same place. Forwarding degrades gracefully — an
+//     unreachable or failing owner means the local replica computes the
+//     result itself (availability over dedup; determinism guarantees
+//     the bytes match anyway).
+//
+//   - DiskCache: a disk-backed second cache tier beneath the in-memory
+//     LRU. Entries are per-key files written atomically (temp file +
+//     rename) with a length- and checksum-carrying header, under a byte
+//     budget with least-recently-used eviction. Restarts stay warm, and
+//     a truncated or torn file from a crash is skipped and removed, not
+//     fatal — the runlog.ReadAll torn-line idiom applied to a cache.
+//
+// Like internal/runlog, this package is wall-clock-side observability
+// and plumbing: it lives OUTSIDE the deterministic world, is not in
+// armvirt-vet's detclock scope, and must never be imported by the
+// deterministic packages (DESIGN.md §9, §13).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the per-replica virtual-node count on the ring. More
+// points smooth the key distribution across replicas; 64 keeps the
+// imbalance under ~20% for small clusters while the ring stays tiny.
+const DefaultVNodes = 64
+
+// point is one virtual node: a hash position owned by a replica.
+type point struct {
+	h    uint64
+	name string
+}
+
+// Ring is a consistent-hash ring over replica names. Every replica
+// builds its ring from the same sorted peer list, so Owner is a pure
+// shared function of the key: no replica ever disagrees about
+// placement. A nil Ring owns nothing.
+type Ring struct {
+	replicas []string
+	points   []point
+}
+
+// NewRing builds a ring over the given replica names with vnodes
+// virtual nodes each (<= 0 takes DefaultVNodes). Names are sorted and
+// deduplicated, so peer lists in any order produce identical rings.
+func NewRing(replicas []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	names := append([]string(nil), replicas...)
+	sort.Strings(names)
+	names = dedupe(names)
+	r := &Ring{replicas: names}
+	for _, name := range names {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{h: hash64(fmt.Sprintf("replica\x00%s\x00%d", name, i)), name: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// hash64 maps a string onto the ring's keyspace. SHA-256 (truncated)
+// rather than FNV: placement must be identical across every replica
+// process and stable across releases, so the hash is part of the wire
+// contract and should not be a "whatever the stdlib had" choice.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the replica owning key: the first virtual node at or
+// clockwise after the key's hash. Empty string on a nil or empty ring.
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := hash64("key\x00" + key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].name
+}
+
+// Replicas returns the ring's replica names in sorted order.
+func (r *Ring) Replicas() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.replicas...)
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Header names of the cluster wire contract.
+const (
+	// ForwardedHeader marks a forwarded request with the sender's
+	// replica name. Its presence is the loop guard: a forwarded request
+	// is always answered locally, never re-forwarded, so placement
+	// disagreements during a peer-list rollout degrade to one extra
+	// compute instead of a forwarding loop.
+	ForwardedHeader = "X-Armvirt-Forwarded"
+	// RunHeader carries a run-ledger ID. On a forwarded request it is
+	// the sender's run ID (recorded as the owner's Entry.Upstream); on
+	// every response it is the answering replica's run ID — the two
+	// halves of the cross-replica trace link (DESIGN.md §10, §13).
+	RunHeader = "X-Armvirt-Run"
+	// PeerHeader on a response names the replica the request was
+	// forwarded to, so clients and the load generator can measure how
+	// much traffic crossed the ring.
+	PeerHeader = "X-Armvirt-Peer"
+)
+
+// Forwarder routes cache keys to their owning replica: a ring over the
+// shared peer list plus an HTTP client to reach the owner. A nil
+// Forwarder owns every key locally.
+type Forwarder struct {
+	self   string
+	urls   map[string]string
+	ring   *Ring
+	client *http.Client
+}
+
+// NewForwarder builds a forwarder for replica self over the full peer
+// list (replica name -> base URL, self included). vnodes <= 0 takes
+// DefaultVNodes. Every replica must construct its forwarder from the
+// same peer list for placement to agree.
+func NewForwarder(self string, peers map[string]string, vnodes int) (*Forwarder, error) {
+	if _, ok := peers[self]; !ok {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", self)
+	}
+	names := make([]string, 0, len(peers))
+	for name := range peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	urls := make(map[string]string, len(peers))
+	for _, name := range names {
+		if name == "" || peers[name] == "" {
+			return nil, fmt.Errorf("cluster: empty replica name or URL in peer list")
+		}
+		urls[name] = peers[name]
+	}
+	return &Forwarder{
+		self:   self,
+		urls:   urls,
+		ring:   NewRing(names, vnodes),
+		client: &http.Client{},
+	}, nil
+}
+
+// Self returns this replica's name ("" on nil).
+func (f *Forwarder) Self() string {
+	if f == nil {
+		return ""
+	}
+	return f.self
+}
+
+// Replicas returns the ring size (0 on nil: not clustered).
+func (f *Forwarder) Replicas() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring.Replicas())
+}
+
+// Owner returns the replica owning key and whether that is this
+// replica. A nil forwarder owns everything locally.
+func (f *Forwarder) Owner(key string) (name string, local bool) {
+	if f == nil {
+		return "", true
+	}
+	name = f.ring.Owner(key)
+	return name, name == f.self
+}
+
+// Forward re-issues the request against owner, marking it forwarded
+// (loop guard) and carrying runID so the owner's ledger entry links
+// back to the sender's. The caller owns the response body.
+func (f *Forwarder) Forward(ctx context.Context, owner string, r *http.Request, runID string) (*http.Response, error) {
+	base, ok := f.urls[owner]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown replica %q", owner)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, f.self)
+	if runID != "" {
+		req.Header.Set(RunHeader, runID)
+	}
+	return f.client.Do(req)
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingAgreementAcrossPeerOrder(t *testing.T) {
+	a := NewRing([]string{"r1", "r2", "r3"}, 0)
+	b := NewRing([]string{"r3", "r1", "r2", "r2"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("exp\x00T%d\x00hash\x00json", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings built from reordered peer lists disagree on %q: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 0)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, name := range r.Replicas() {
+		if c := counts[name]; c < n/10 {
+			t.Errorf("replica %s owns %d/%d keys — distribution badly skewed", name, c, n)
+		}
+	}
+}
+
+// TestRingRemovalStability is the consistent-hashing property: removing
+// one replica must only remap the keys it owned; every other key keeps
+// its owner.
+func TestRingRemovalStability(t *testing.T) {
+	full := NewRing([]string{"r1", "r2", "r3"}, 0)
+	reduced := NewRing([]string{"r1", "r3"}, 0)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := full.Owner(key), reduced.Owner(key)
+		if was == "r2" {
+			if is == "r2" {
+				t.Fatalf("removed replica still owns %q", key)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Errorf("key %q moved %s -> %s though its owner was not removed", key, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Error("no keys were owned by the removed replica; test is vacuous")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if owner := nilRing.Owner("k"); owner != "" {
+		t.Errorf("nil ring owner = %q, want empty", owner)
+	}
+	if got := nilRing.Replicas(); got != nil {
+		t.Errorf("nil ring replicas = %v", got)
+	}
+	single := NewRing([]string{"only"}, 0)
+	for i := 0; i < 10; i++ {
+		if owner := single.Owner(fmt.Sprintf("k%d", i)); owner != "only" {
+			t.Fatalf("single-replica ring owner = %q", owner)
+		}
+	}
+}
+
+func TestForwarderOwnership(t *testing.T) {
+	peers := map[string]string{
+		"r1": "http://127.0.0.1:1", "r2": "http://127.0.0.1:2", "r3": "http://127.0.0.1:3",
+	}
+	fwds := map[string]*Forwarder{}
+	for name := range peers {
+		f, err := NewForwarder(name, peers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwds[name] = f
+	}
+	localCount := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := map[string]bool{}
+		for name, f := range fwds {
+			owner, local := f.Owner(key)
+			owners[owner] = true
+			if local != (owner == name) {
+				t.Fatalf("replica %s: local=%v but owner=%s", name, local, owner)
+			}
+			if local {
+				localCount++
+			}
+		}
+		if len(owners) != 1 {
+			t.Fatalf("replicas disagree on owner of %q: %v", key, owners)
+		}
+	}
+	if localCount != 300 {
+		t.Errorf("each key should be local on exactly one replica: %d/300", localCount)
+	}
+
+	if _, err := NewForwarder("nope", peers, 0); err == nil {
+		t.Error("self outside the peer list must be rejected")
+	}
+
+	var nilF *Forwarder
+	if owner, local := nilF.Owner("k"); !local || owner != "" {
+		t.Errorf("nil forwarder Owner = (%q, %v), want local", owner, local)
+	}
+	if nilF.Replicas() != 0 || nilF.Self() != "" {
+		t.Error("nil forwarder should report no replicas and no self")
+	}
+}

@@ -77,6 +77,16 @@ type Entry struct {
 	// parallel engine is deterministic — so it is not part of the cache
 	// key, only of this wall-time record.
 	Par int `json:"par,omitempty"`
+	// Upstream is the run ID of the replica that forwarded this request
+	// here (the inbound X-Armvirt-Run header on a cluster-forwarded
+	// request), so the owner's entry links back to the sender's ledger.
+	Upstream string `json:"upstream,omitempty"`
+	// Peer names the replica this request was forwarded to (the owner
+	// of its cache key on the cluster ring), and PeerRun that replica's
+	// run ID for the forwarded request — the other half of the
+	// cross-replica trace link (DESIGN.md §13).
+	Peer    string `json:"peer,omitempty"`
+	PeerRun string `json:"peer_run,omitempty"`
 	// Error carries the run-path error for non-2xx answers.
 	Error string `json:"error,omitempty"`
 	// TotalUS is the request's total wall time in microseconds.
@@ -152,6 +162,28 @@ func (t *Trace) SetOutcome(outcome string) {
 	}
 	t.mu.Lock()
 	t.entry.Outcome = outcome
+	t.mu.Unlock()
+}
+
+// SetUpstream records the forwarding replica's run ID (the inbound
+// X-Armvirt-Run header) on a cluster-forwarded request.
+func (t *Trace) SetUpstream(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.entry.Upstream = id
+	t.mu.Unlock()
+}
+
+// SetPeer records the replica a request was forwarded to and, when the
+// peer answered, its run ID for the forwarded request.
+func (t *Trace) SetPeer(peer, run string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.entry.Peer, t.entry.PeerRun = peer, run
 	t.mu.Unlock()
 }
 

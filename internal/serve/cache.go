@@ -20,6 +20,9 @@ const (
 	// Shared means the caller attached to a computation another request
 	// had already started and received the leader's bytes.
 	Shared
+	// Disk means the bytes came from the disk-backed second tier (set
+	// with SetTier) instead of a fresh compute — a restart-warm hit.
+	Disk
 )
 
 func (o Outcome) String() string {
@@ -30,14 +33,28 @@ func (o Outcome) String() string {
 		return "miss"
 	case Shared:
 		return "shared"
+	case Disk:
+		return "disk"
 	}
 	return "unknown"
+}
+
+// Tier is a second cache tier consulted beneath the in-memory LRU: the
+// singleflight leader checks Get before computing and calls Put after a
+// successful compute. Implementations must be safe for concurrent use;
+// cluster.DiskCache is the production one.
+type Tier interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
 }
 
 // CacheStats is a point-in-time snapshot of cache counters.
 type CacheStats struct {
 	Hits, Misses, Shared, Evictions int64
-	Entries                         int
+	// DiskHits counts lookups satisfied by the disk tier (Outcome
+	// Disk); Misses counts only lookups that ran compute.
+	DiskHits int64
+	Entries  int
 	// Inflight is the number of singleflight computations currently
 	// running (leaders with followers attached or not).
 	Inflight        int
@@ -78,7 +95,18 @@ type Cache struct {
 	items    map[string]*list.Element
 	inflight map[string]*flight
 
-	hits, misses, shared, evictions int64
+	// tier is the optional disk-backed second tier. Set once via
+	// SetTier before the cache serves traffic; read without mu on the
+	// leader path (tier I/O must not run under the cache lock).
+	tier Tier
+
+	hits, misses, shared, evictions, diskHits int64
+}
+
+// SetTier installs the second cache tier. Call before serving traffic;
+// a nil tier (the default) disables the second tier.
+func (c *Cache) SetTier(t Tier) {
+	c.tier = t
 }
 
 // NewCache returns a cache bounded to maxBytes of stored values
@@ -94,8 +122,8 @@ func NewCache(maxBytes int64) *Cache {
 
 // GetOrCompute returns the bytes for key, running compute on a miss.
 // The returned Outcome reports whether the bytes were resident (Hit),
-// computed by this call (Miss), or received from a concurrent leader
-// (Shared). A waiter whose context ends before the leader finishes
+// computed by this call (Miss), received from a concurrent leader
+// (Shared), or loaded from the disk tier (Disk). A waiter whose context ends before the leader finishes
 // returns the context error; the leader itself always runs compute to
 // completion so an engine run is never abandoned half-way.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
@@ -119,28 +147,49 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
-	c.misses++
 	c.mu.Unlock()
 
-	// A panicking compute must still wake the waiters and release the
-	// flight, or every later request for this key would hang; it
-	// surfaces as an error (never cached), not a crash.
-	f.val, f.err = func() (val []byte, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("serve: compute panicked: %v", r)
-			}
+	// The leader consults the disk tier before computing: a restart-warm
+	// entry skips the engine entirely. Tier I/O runs outside the lock;
+	// followers are held on f.done either way.
+	fromDisk := false
+	if c.tier != nil {
+		if v, ok := c.tier.Get(key); ok {
+			f.val, fromDisk = v, true
+		}
+	}
+	if !fromDisk {
+		// A panicking compute must still wake the waiters and release the
+		// flight, or every later request for this key would hang; it
+		// surfaces as an error (never cached), not a crash.
+		f.val, f.err = func() (val []byte, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("serve: compute panicked: %v", r)
+				}
+			}()
+			return compute()
 		}()
-		return compute()
-	}()
+	}
 	close(f.done)
+	if !fromDisk && f.err == nil && c.tier != nil {
+		c.tier.Put(key, f.val)
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
 		c.store(key, f.val)
 	}
+	if fromDisk {
+		c.diskHits++
+	} else {
+		c.misses++
+	}
 	c.mu.Unlock()
+	if fromDisk {
+		return f.val, Disk, nil
+	}
 	return f.val, Miss, f.err
 }
 
@@ -175,6 +224,7 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Shared: c.shared, Evictions: c.evictions,
-		Entries: len(c.items), Inflight: len(c.inflight), Bytes: c.cur, MaxBytes: c.max,
+		DiskHits: c.diskHits,
+		Entries:  len(c.items), Inflight: len(c.inflight), Bytes: c.cur, MaxBytes: c.max,
 	}
 }

@@ -174,6 +174,172 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 }
 
+// memTier is an in-memory Tier for unit tests (the production one is
+// cluster.DiskCache).
+type memTier struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets atomic.Int64
+	puts atomic.Int64
+}
+
+func newMemTier() *memTier { return &memTier{m: make(map[string][]byte)} }
+
+func (t *memTier) Get(key string) ([]byte, bool) {
+	t.gets.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.m[key]
+	return v, ok
+}
+
+func (t *memTier) Put(key string, val []byte) {
+	t.puts.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key] = append([]byte(nil), val...)
+}
+
+// TestCacheTierInterplay: the leader consults the tier before
+// computing, promotes tier hits into the memory LRU, and writes fresh
+// computes through to the tier; errors never reach the tier.
+func TestCacheTierInterplay(t *testing.T) {
+	c := NewCache(1 << 20)
+	tier := newMemTier()
+	c.SetTier(tier)
+	var calls atomic.Int64
+
+	// Fresh compute: written through.
+	val, outcome := mustGet(t, c, "a", fill(10, &calls))
+	if outcome != Miss || len(val) != 10 {
+		t.Fatalf("cold: outcome=%v len=%d", outcome, len(val))
+	}
+	if tier.puts.Load() != 1 {
+		t.Fatalf("tier puts = %d, want 1", tier.puts.Load())
+	}
+
+	// Tier hit on a key the memory LRU has never seen: no compute, Disk
+	// outcome, then promoted so the next lookup is a memory Hit with no
+	// further tier I/O.
+	tier.Put("warm", []byte("from-tier"))
+	val, outcome = mustGet(t, c, "warm", func() ([]byte, error) {
+		t.Error("compute ran despite a tier hit")
+		return nil, nil
+	})
+	if outcome != Disk || string(val) != "from-tier" {
+		t.Fatalf("tier hit: outcome=%v val=%q", outcome, val)
+	}
+	gets := tier.gets.Load()
+	if _, outcome = mustGet(t, c, "warm", nil); outcome != Hit {
+		t.Fatalf("promoted lookup: outcome=%v, want Hit", outcome)
+	}
+	if tier.gets.Load() != gets {
+		t.Error("memory hit consulted the tier")
+	}
+
+	// Failed computes are not written through.
+	if _, _, err := c.GetOrCompute(context.Background(), "bad", func() ([]byte, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Fatal("error lost")
+	}
+	if _, ok := tier.m["bad"]; ok {
+		t.Error("failed compute reached the tier")
+	}
+
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Misses != 2 {
+		t.Errorf("stats: %+v, want 1 disk hit and 2 misses", st)
+	}
+}
+
+// TestCacheConcurrentByteBudgetPressure hammers a small cache from many
+// goroutines — mixed key popularity, oversized values that must never
+// be stored, and readers holding returned slices while eviction churns
+// — and asserts the byte budget holds throughout and every returned
+// value is intact. Run under -race this is the eviction-safety
+// acceptance test: returned slices are never mutated by later evictions.
+func TestCacheConcurrentByteBudgetPressure(t *testing.T) {
+	const budget = 4 << 10
+	c := NewCache(budget)
+	stop := make(chan struct{})
+
+	// A budget auditor races the writers.
+	auditDone := make(chan struct{})
+	go func() {
+		defer close(auditDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := c.Stats(); st.Bytes > budget {
+				t.Errorf("resident bytes %d exceed budget %d", st.Bytes, budget)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make(map[string][]byte) // reader-held results across churn
+			for i := 0; i < 200; i++ {
+				var key string
+				var size int
+				switch i % 4 {
+				case 0: // popular small key, shared across workers
+					key, size = fmt.Sprintf("hot-%d", i%8), 256
+				case 1: // per-worker key forcing eviction churn
+					key, size = fmt.Sprintf("cold-%d-%d", w, i), 1024
+				case 2: // oversized: returned but never stored
+					key, size = fmt.Sprintf("big-%d-%d", w, i), budget+1
+				default:
+					key, size = fmt.Sprintf("mid-%d", i%32), 512
+				}
+				want := byte('a' + w%8)
+				val, _, err := c.GetOrCompute(context.Background(), key, func() ([]byte, error) {
+					return bytes.Repeat([]byte{want}, size), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute(%q): %v", key, err)
+					return
+				}
+				if len(val) != size {
+					// A racing worker with a different fill byte may have led
+					// the flight; length is the invariant every leader shares.
+					t.Errorf("%q: len=%d, want %d", key, len(val), size)
+					return
+				}
+				if i%10 == 0 {
+					held[key] = val
+				}
+				// Everything held so far must still read consistently (one
+				// repeated byte) no matter how much eviction has churned.
+				for k, v := range held {
+					for _, b := range v {
+						if b != v[0] {
+							t.Errorf("held value %q mutated under eviction churn", k)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	<-auditDone
+	if st := c.Stats(); st.Bytes > budget || st.Entries == 0 {
+		t.Errorf("final stats: %+v", st)
+	}
+}
+
 // TestCacheWaiterTimeout: a follower whose context expires abandons the
 // wait; the leader still completes and caches.
 func TestCacheWaiterTimeout(t *testing.T) {
@@ -187,9 +353,10 @@ func TestCacheWaiterTimeout(t *testing.T) {
 		})
 		leaderDone <- err
 	}()
-	// Wait until the leader's flight is registered.
+	// Wait until the leader's flight is registered. (Misses counts at
+	// compute completion, so Inflight is the registration signal.)
 	for {
-		if c.Stats().Misses == 1 {
+		if c.Stats().Inflight == 1 {
 			break
 		}
 		time.Sleep(time.Millisecond)

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"armvirt/internal/bench"
+	"armvirt/internal/cluster"
+	"armvirt/internal/core"
+	"armvirt/internal/runlog"
+)
+
+// clusterSet boots n replicas named r1..rn on httptest servers and
+// joins them into one consistent-hash replica set. mkCfg (nil: zero
+// Config) builds each replica's config.
+func clusterSet(t *testing.T, n int, mkCfg func(i int) Config) ([]*Server, []*httptest.Server) {
+	t.Helper()
+	srvs := make([]*Server, n)
+	tss := make([]*httptest.Server, n)
+	peers := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{}
+		if mkCfg != nil {
+			cfg = mkCfg(i)
+		}
+		srvs[i] = New(cfg)
+		tss[i] = httptest.NewServer(srvs[i].Handler())
+		t.Cleanup(tss[i].Close)
+		peers[fmt.Sprintf("r%d", i+1)] = tss[i].URL
+	}
+	for i, s := range srvs {
+		if err := s.SetCluster(fmt.Sprintf("r%d", i+1), peers, 0); err != nil {
+			t.Fatalf("SetCluster r%d: %v", i+1, err)
+		}
+	}
+	return srvs, tss
+}
+
+// ownerIndex returns which replica owns the experiment-JSON cache key
+// for id (the ring is identical on every replica, so any one answers).
+func ownerIndex(t *testing.T, srvs []*Server, id string) int {
+	t.Helper()
+	key := fmt.Sprintf("exp\x00%s\x00%s\x00json", id, srvs[0].hash)
+	owner, _ := srvs[0].fwd.Owner(key)
+	for i := range srvs {
+		if fmt.Sprintf("r%d", i+1) == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not in the replica set", owner)
+	return -1
+}
+
+// experimentOwnedBy finds an experiment whose JSON key lands on the
+// wanted replica; the registry is large enough that every replica owns
+// at least one (the ring-distribution test guarantees spread).
+func experimentOwnedBy(t *testing.T, srvs []*Server, want int) string {
+	t.Helper()
+	for _, e := range core.Experiments() {
+		if ownerIndex(t, srvs, e.ID) == want {
+			return e.ID
+		}
+	}
+	t.Fatalf("no experiment's key is owned by replica %d", want+1)
+	return ""
+}
+
+// stubRuns replaces every replica's engine with a shared counted stub.
+func stubRuns(srvs []*Server, runs *atomic.Int64) {
+	for _, s := range srvs {
+		s.runOne = func(e core.Experiment) core.Report {
+			runs.Add(1)
+			time.Sleep(10 * time.Millisecond) // widen the collapse window
+			return core.Report{Experiment: e, Result: bench.Text("stub " + e.ID + "\n")}
+		}
+	}
+}
+
+// TestClusterSingleflightExactlyOnce is the tentpole acceptance test:
+// a burst of identical cold requests sprayed across all three replicas
+// runs the experiment exactly once cluster-wide — non-owners forward
+// to the key's owner, and the owner's singleflight collapses the rest.
+func TestClusterSingleflightExactlyOnce(t *testing.T) {
+	srvs, tss := clusterSet(t, 3, nil)
+	var runs atomic.Int64
+	stubRuns(srvs, &runs)
+
+	id := experimentOwnedBy(t, srvs, 2) // owned by r3: most requests forward
+	path := "/v1/experiments/" + id + "?format=json"
+
+	const n = 24
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			statuses[i], bodies[i], _ = get(t, tss[i%3], path)
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, statuses[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d got different bytes", i)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("engine runs cluster-wide = %d, want exactly 1", got)
+	}
+	// The run landed on the owner, nowhere else.
+	var admRuns int64
+	for _, s := range srvs {
+		admRuns += s.adm.Stats().Runs
+	}
+	if admRuns != 1 || srvs[2].adm.Stats().Runs != 1 {
+		t.Errorf("admission runs = %d total, owner ran %d; want 1 and 1",
+			admRuns, srvs[2].adm.Stats().Runs)
+	}
+}
+
+// TestClusterByteIdentity: the same experiment requested via each
+// replica returns byte-identical payloads and the same study hash,
+// with exactly one engine run across the cluster (real engine).
+func TestClusterByteIdentity(t *testing.T) {
+	srvs, tss := clusterSet(t, 3, nil)
+	path := "/v1/experiments/T1?format=json"
+
+	var first []byte
+	for i, ts := range tss {
+		status, body, _ := get(t, ts, path)
+		if status != http.StatusOK {
+			t.Fatalf("replica %d: status %d", i+1, status)
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(body, first) {
+			t.Fatalf("replica %d returned different bytes", i+1)
+		}
+	}
+	var runs int64
+	for _, s := range srvs {
+		runs += s.adm.Stats().Runs
+	}
+	if runs != 1 {
+		t.Fatalf("engine runs cluster-wide = %d, want 1", runs)
+	}
+
+	// A request that crossed the ring names the owner in X-Armvirt-Peer.
+	owner := ownerIndex(t, srvs, "T1")
+	other := (owner + 1) % 3
+	resp, err := tss[other].Client().Get(tss[other].URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if peer := resp.Header.Get(cluster.PeerHeader); peer != fmt.Sprintf("r%d", owner+1) {
+		t.Errorf("X-Armvirt-Peer = %q, want r%d", peer, owner+1)
+	}
+}
+
+// TestClusterLedgerLinkage: a forwarded request leaves linked ledger
+// entries — the sender records the peer and the peer's run ID, the
+// owner records the sender's run ID as upstream.
+func TestClusterLedgerLinkage(t *testing.T) {
+	srvs, tss := clusterSet(t, 2, nil)
+	var runs atomic.Int64
+	stubRuns(srvs, &runs)
+
+	id := experimentOwnedBy(t, srvs, 1) // owned by r2
+	status, _, _ := get(t, tss[0], "/v1/experiments/"+id+"?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+
+	sent := srvs[0].lg.Recent(runlog.Query{Endpoint: "experiment", Limit: 1})
+	if len(sent) != 1 {
+		t.Fatalf("sender ledger has %d experiment entries, want 1", len(sent))
+	}
+	owned := srvs[1].lg.Recent(runlog.Query{Endpoint: "experiment", Limit: 1})
+	if len(owned) != 1 {
+		t.Fatalf("owner ledger has %d experiment entries, want 1", len(owned))
+	}
+	se, oe := sent[0], owned[0]
+	if se.Outcome != "forward" || se.Peer != "r2" {
+		t.Errorf("sender entry outcome=%q peer=%q, want forward/r2", se.Outcome, se.Peer)
+	}
+	if se.PeerRun == "" || se.PeerRun != oe.ID {
+		t.Errorf("sender PeerRun = %q, owner run ID = %q; want linked", se.PeerRun, oe.ID)
+	}
+	if oe.Upstream == "" || oe.Upstream != se.ID {
+		t.Errorf("owner Upstream = %q, sender run ID = %q; want linked", oe.Upstream, se.ID)
+	}
+	// The sender's trace has a forward span.
+	var spans []string
+	for _, sp := range se.Spans {
+		sp.Walk(func(s *runlog.Span) { spans = append(spans, s.Name) })
+	}
+	if !strings.Contains(strings.Join(spans, ","), "forward") {
+		t.Errorf("sender spans %v missing forward", spans)
+	}
+}
+
+// TestClusterForwardFallback: when a key's owner is unreachable, the
+// receiving replica computes locally instead of failing the request —
+// availability over dedup; determinism keeps the bytes identical.
+func TestClusterForwardFallback(t *testing.T) {
+	srvs, tss := clusterSet(t, 2, nil)
+	var runs atomic.Int64
+	stubRuns(srvs, &runs)
+
+	id := experimentOwnedBy(t, srvs, 1)
+	tss[1].Close() // the owner vanishes
+
+	status, body, xc := get(t, tss[0], "/v1/experiments/"+id+"?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("status %d with owner down, want 200", status)
+	}
+	if xc != "miss" || !bytes.Contains(body, []byte("stub "+id)) {
+		t.Errorf("fallback X-Cache=%q body=%.40q, want a local miss compute", xc, body)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("engine runs = %d, want 1 (local fallback)", got)
+	}
+
+	// The failed forward is visible on /metrics.
+	_, metrics, _ := get(t, tss[0], "/metrics")
+	if want := `armvirt_cluster_forward_errors_total{peer="r2"} 1`; !strings.Contains(string(metrics), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+	if want := "armvirt_cluster_replicas 2"; !strings.Contains(string(metrics), want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// TestClusterForwardLoopGuard: a request that already crossed the ring
+// is never forwarded again, even if (say, due to a peer-list mismatch)
+// it lands on a replica that believes another owner exists.
+func TestClusterForwardLoopGuard(t *testing.T) {
+	srvs, tss := clusterSet(t, 2, nil)
+	var runs atomic.Int64
+	stubRuns(srvs, &runs)
+
+	id := experimentOwnedBy(t, srvs, 1) // r1 would forward this to r2
+	req, _ := http.NewRequest("GET", tss[0].URL+"/v1/experiments/"+id+"?format=json", nil)
+	req.Header.Set(cluster.ForwardedHeader, "r9") // pretend it was already forwarded
+	resp, err := tss[0].Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(cluster.PeerHeader) != "" {
+		t.Error("loop guard failed: the request was forwarded again")
+	}
+	if srvs[0].adm.Stats().Runs != 1 || srvs[1].adm.Stats().Runs != 0 {
+		t.Errorf("runs r1=%d r2=%d, want 1/0 (served where it landed)",
+			srvs[0].adm.Stats().Runs, srvs[1].adm.Stats().Runs)
+	}
+}
+
+// TestDiskTierWarmRestart: a replica restarted onto the same disk
+// directory serves previously computed entries from the disk tier
+// without re-running the engine.
+func TestDiskTierWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	disk1, err := cluster.OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Disk: disk1})
+	var runs atomic.Int64
+	stubRuns([]*Server{s1}, &runs)
+	ts1 := httptest.NewServer(s1.Handler())
+
+	status, cold, xc := get(t, ts1, "/v1/experiments/T1?format=json")
+	if status != http.StatusOK || xc != "miss" {
+		t.Fatalf("cold: status=%d X-Cache=%q", status, xc)
+	}
+	// Warm within the process: the memory tier answers, not disk.
+	if _, _, xc := get(t, ts1, "/v1/experiments/T1?format=json"); xc != "hit" {
+		t.Fatalf("warm: X-Cache=%q", xc)
+	}
+	ts1.Close()
+
+	// "Restart": a fresh server over the same directory. The engine must
+	// not run again.
+	disk2, err := cluster.OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Disk: disk2})
+	s2.runOne = func(e core.Experiment) core.Report {
+		t.Error("engine ran after restart despite a warm disk tier")
+		return core.Report{Experiment: e, Result: bench.Text("rerun\n")}
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	status, warm, xc := get(t, ts2, "/v1/experiments/T1?format=json")
+	if status != http.StatusOK || xc != "disk" {
+		t.Fatalf("restart: status=%d X-Cache=%q, want 200/disk", status, xc)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("disk-tier bytes differ from the original compute")
+	}
+	if got := s2.adm.Stats().Runs; got != 0 {
+		t.Errorf("engine runs after restart = %d, want 0", got)
+	}
+	// The disk hit is promoted to the memory tier: next lookup is "hit",
+	// and /metrics counts the disk hit.
+	if _, _, xc := get(t, ts2, "/v1/experiments/T1?format=json"); xc != "hit" {
+		t.Errorf("post-promotion X-Cache=%q, want hit", xc)
+	}
+	_, metrics, _ := get(t, ts2, "/metrics")
+	for _, want := range []string{
+		"armvirt_disk_cache_hits_total 1",
+		"armvirt_disk_cache_max_bytes 1048576",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestReadyzFlipsBeforeDrainCompletes is the readiness-split
+// acceptance test: /readyz answers 503 the moment drain begins — while
+// an engine run is still in flight and /healthz still answers 200.
+func TestReadyzFlipsBeforeDrainCompletes(t *testing.T) {
+	s, started, release := stubServer(Config{Workers: 1, QueueDepth: 1, Timeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if status, body, _ := get(t, ts, "/readyz"); status != http.StatusOK || string(body) != "ready\n" {
+		t.Fatalf("readyz before drain: status=%d body=%q", status, body)
+	}
+
+	inflight := make(chan int, 1)
+	go func() { st, _, _ := get(t, ts, "/v1/experiments/T1"); inflight <- st }()
+	<-started
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+
+	// The flip is immediate — observable while the run still holds its
+	// worker and Drain has not returned.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _, _ := get(t, ts, "/readyz")
+		if status == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a run still in flight")
+	default:
+	}
+	if status, _, _ := get(t, ts, "/healthz"); status != http.StatusOK {
+		t.Error("healthz flipped during drain; it must stay liveness-only")
+	}
+
+	close(release)
+	<-drained
+	if st := <-inflight; st != http.StatusOK {
+		t.Errorf("in-flight run during drain finished with %d", st)
+	}
+	// SetReady(true) re-arms readiness (a restarted replica).
+	s.SetReady(true)
+	if status, _, _ := get(t, ts, "/readyz"); status != http.StatusOK {
+		t.Error("readyz did not recover after SetReady(true)")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"armvirt/internal/bench"
 	"armvirt/internal/cliutil"
+	"armvirt/internal/cluster"
 	"armvirt/internal/core"
 	"armvirt/internal/micro"
 	"armvirt/internal/runlog"
@@ -56,6 +57,11 @@ func (s *Server) instrument(endpoint string, fn http.HandlerFunc) http.Handler {
 		tr := s.lg.Begin(endpoint)
 		if id := tr.ID(); id != "" {
 			w.Header().Set("X-Armvirt-Run", id)
+		}
+		// A cluster-forwarded request carries the sender's run ID;
+		// recording it links this entry to the forwarder's ledger.
+		if r.Header.Get(cluster.ForwardedHeader) != "" {
+			tr.SetUpstream(r.Header.Get(cluster.RunHeader))
 		}
 		r = r.WithContext(runlog.WithTrace(r.Context(), tr))
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -130,9 +136,70 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// handleReadyz is the balancer-facing readiness split of /healthz: it
+// flips to 503 the moment shutdown begins (Server.SetReady(false),
+// before the listener closes), so a balancer stops routing here before
+// Drain finishes. /healthz stays liveness-only.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.WritePrometheus(w, s.cache.Stats(), s.adm.Stats(), s.lg.Stats())
+	xs := ClusterStats{Ready: s.ready.Load(), Replicas: s.fwd.Replicas(), Disk: s.disk.Stats()}
+	s.met.WritePrometheus(w, s.cache.Stats(), s.adm.Stats(), s.lg.Stats(), xs)
+}
+
+// clusterForward serves the request from the cache key's owning replica
+// when this replica does not own it. It reports true when the response
+// has been written. False means "serve locally": the server is not
+// clustered, this replica owns the key, the request is already a
+// forward (loop guard), or the owner failed — an unreachable or 5xx
+// owner falls back to local compute, trading cluster-wide dedup for
+// availability (determinism guarantees the bytes match either way).
+func (s *Server) clusterForward(w http.ResponseWriter, r *http.Request, tr *runlog.Trace, key string) bool {
+	if s.fwd == nil || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return false
+	}
+	owner, local := s.fwd.Owner(key)
+	if local {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	sp := tr.Start("forward")
+	resp, err := s.fwd.Forward(ctx, owner, r, tr.ID())
+	if err != nil {
+		sp.End()
+		s.met.RecordForwardError(owner)
+		return false
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sp.End()
+	if err != nil || resp.StatusCode >= http.StatusInternalServerError {
+		s.met.RecordForwardError(owner)
+		return false
+	}
+	s.met.RecordForward(owner)
+	tr.SetOutcome("forward")
+	tr.SetPeer(owner, resp.Header.Get(cluster.RunHeader))
+	// Pass through what describes the payload and the owner's cache
+	// outcome; the response body is byte-identical to a local run.
+	for _, h := range []string{"Content-Type", "Content-Disposition", "X-Cache", "X-Armvirt-Study-Hash", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(cluster.PeerHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	return true
 }
 
 // handleExperiments lists the registry in order — no engine runs, so no
@@ -188,6 +255,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	// par is deliberately not part of the cache key: the parallel engine
 	// is deterministic, so the response bytes are the same at every value.
 	key := fmt.Sprintf("exp\x00%s\x00%s\x00%s", e.ID, s.hash, format)
+	if s.clusterForward(w, r, tr, key) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	// The cache span covers the whole lookup: for a hit it is the lookup
@@ -283,6 +353,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	tr := runlog.TraceFrom(r.Context())
 	tr.SetTarget(slug+"/"+op, format)
 	key := fmt.Sprintf("prof\x00%s\x00%s\x00%s\x00%s", label, op, s.hash, format)
+	if s.clusterForward(w, r, tr, key) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	sp := tr.Start("cache")

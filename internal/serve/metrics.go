@@ -8,9 +8,19 @@ import (
 	"sync"
 	"time"
 
+	"armvirt/internal/cluster"
 	"armvirt/internal/runlog"
 	"armvirt/internal/stats"
 )
+
+// ClusterStats carries the cluster-tier gauges WritePrometheus renders:
+// the readiness flag, the ring size (0 when not clustered), and the
+// disk-tier counters (zeros when no disk tier is configured).
+type ClusterStats struct {
+	Ready    bool
+	Replicas int
+	Disk     cluster.DiskStats
+}
 
 // Metrics aggregates per-endpoint request counters and latency
 // distributions. Latencies go into the same log2-bucketed
@@ -27,6 +37,9 @@ type Metrics struct {
 	// series rendered and simulated-time samples recorded.
 	telSeries  int64
 	telSamples int64
+	// cluster forwarding volume, by owning peer.
+	forwarded   map[string]int64
+	forwardErrs map[string]int64
 }
 
 // reqKey locates one request counter.
@@ -38,9 +51,11 @@ type reqKey struct {
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[reqKey]int64),
-		latency:  make(map[string]*stats.Histogram),
-		stage:    make(map[string]*stats.Histogram),
+		requests:    make(map[reqKey]int64),
+		latency:     make(map[string]*stats.Histogram),
+		stage:       make(map[string]*stats.Histogram),
+		forwarded:   make(map[string]int64),
+		forwardErrs: make(map[string]int64),
 	}
 }
 
@@ -80,6 +95,21 @@ func (m *Metrics) ObserveStage(stage string, us int64) {
 	h.Observe(us)
 }
 
+// RecordForward counts one request forwarded to its owning peer.
+func (m *Metrics) RecordForward(peer string) {
+	m.mu.Lock()
+	m.forwarded[peer]++
+	m.mu.Unlock()
+}
+
+// RecordForwardError counts one failed forward (transport error or 5xx
+// from the owner); the request fell back to local compute.
+func (m *Metrics) RecordForwardError(peer string) {
+	m.mu.Lock()
+	m.forwardErrs[peer]++
+	m.mu.Unlock()
+}
+
 // AddTelemetry counts one timeseries compute's telemetry volume: series
 // rendered and simulated-time samples recorded across its samplers.
 func (m *Metrics) AddTelemetry(series int, samples int64) {
@@ -95,7 +125,7 @@ var latencyQuantiles = []float64{0.50, 0.95, 0.99}
 // WritePrometheus renders every counter and gauge in Prometheus text
 // exposition format. Lines are emitted in sorted label order so
 // consecutive scrapes of an idle server are byte-identical.
-func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats, ls runlog.LedgerStats) error {
+func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats, ls runlog.LedgerStats, xs ClusterStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -106,6 +136,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats,
 	p("# TYPE armvirt_build_info gauge\n")
 	p("armvirt_build_info{go_version=%q,goos=%q,goarch=%q} 1\n",
 		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+
+	ready := 0
+	if xs.Ready {
+		ready = 1
+	}
+	p("# HELP armvirt_ready Readiness (the /readyz answer): 0 once drain begins.\n")
+	p("# TYPE armvirt_ready gauge\n")
+	p("armvirt_ready %d\n", ready)
 
 	p("# HELP armvirt_requests_total HTTP requests by endpoint and status code.\n")
 	p("# TYPE armvirt_requests_total counter\n")
@@ -151,6 +189,52 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats,
 	p("# HELP armvirt_cache_inflight Singleflight computations currently running.\n")
 	p("# TYPE armvirt_cache_inflight gauge\n")
 	p("armvirt_cache_inflight %d\n", cs.Inflight)
+
+	p("# HELP armvirt_disk_cache_hits_total Lookups served from the disk tier.\n")
+	p("# TYPE armvirt_disk_cache_hits_total counter\n")
+	p("armvirt_disk_cache_hits_total %d\n", cs.DiskHits)
+	p("# HELP armvirt_disk_cache_entries Entries resident in the disk tier.\n")
+	p("# TYPE armvirt_disk_cache_entries gauge\n")
+	p("armvirt_disk_cache_entries %d\n", xs.Disk.Entries)
+	p("# HELP armvirt_disk_cache_bytes Bytes resident in the disk tier (budget armvirt_disk_cache_max_bytes).\n")
+	p("# TYPE armvirt_disk_cache_bytes gauge\n")
+	p("armvirt_disk_cache_bytes %d\n", xs.Disk.Bytes)
+	p("# HELP armvirt_disk_cache_max_bytes Configured disk-tier byte budget (0 = no disk tier).\n")
+	p("# TYPE armvirt_disk_cache_max_bytes gauge\n")
+	p("armvirt_disk_cache_max_bytes %d\n", xs.Disk.MaxBytes)
+	p("# HELP armvirt_disk_cache_puts_total Values written to the disk tier.\n")
+	p("# TYPE armvirt_disk_cache_puts_total counter\n")
+	p("armvirt_disk_cache_puts_total %d\n", xs.Disk.Puts)
+	p("# HELP armvirt_disk_cache_evictions_total Disk-tier evictions under the byte budget.\n")
+	p("# TYPE armvirt_disk_cache_evictions_total counter\n")
+	p("armvirt_disk_cache_evictions_total %d\n", xs.Disk.Evictions)
+	p("# HELP armvirt_disk_cache_corrupt_total Disk-tier files skipped and removed as corrupt.\n")
+	p("# TYPE armvirt_disk_cache_corrupt_total counter\n")
+	p("armvirt_disk_cache_corrupt_total %d\n", xs.Disk.Corrupt)
+
+	p("# HELP armvirt_cluster_replicas Replica-set size on the consistent-hash ring (0 = not clustered).\n")
+	p("# TYPE armvirt_cluster_replicas gauge\n")
+	p("armvirt_cluster_replicas %d\n", xs.Replicas)
+	p("# HELP armvirt_cluster_forwarded_total Requests forwarded to their owning replica.\n")
+	p("# TYPE armvirt_cluster_forwarded_total counter\n")
+	peers := make([]string, 0, len(m.forwarded))
+	for peer := range m.forwarded {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		p("armvirt_cluster_forwarded_total{peer=%q} %d\n", peer, m.forwarded[peer])
+	}
+	p("# HELP armvirt_cluster_forward_errors_total Failed forwards that fell back to local compute.\n")
+	p("# TYPE armvirt_cluster_forward_errors_total counter\n")
+	peers = peers[:0]
+	for peer := range m.forwardErrs {
+		peers = append(peers, peer)
+	}
+	sort.Strings(peers)
+	for _, peer := range peers {
+		p("armvirt_cluster_forward_errors_total{peer=%q} %d\n", peer, m.forwardErrs[peer])
+	}
 
 	p("# HELP armvirt_engine_runs_total Experiment/profile engine runs admitted.\n")
 	p("# TYPE armvirt_engine_runs_total counter\n")

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"armvirt/internal/cluster"
 	"armvirt/internal/runlog"
 )
 
@@ -21,14 +22,22 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 	m.ObserveStage("engine", 2100)
 	m.ObserveStage("cache", 90)
 
-	cs := CacheStats{Hits: 7, Misses: 3, Shared: 2, Evictions: 1, Entries: 2, Inflight: 1, Bytes: 512, MaxBytes: 1024}
+	m.RecordForward("r2")
+	m.RecordForward("r2")
+	m.RecordForward("r3")
+	m.RecordForwardError("r3")
+
+	cs := CacheStats{Hits: 7, Misses: 3, Shared: 2, Evictions: 1, Entries: 2, Inflight: 1, Bytes: 512, MaxBytes: 1024,
+		DiskHits: 4}
 	as := AdmissionStats{Workers: 4, QueueDepth: 8, Queued: 1, Running: 2,
 		Runs: 3, RejectedQueue: 5, RejectedDrain: 6}
 	ls := runlog.LedgerStats{Entries: 9, MaxEntries: 512, Bytes: 4096, MaxBytes: 1 << 20,
 		Appended: 11, Dropped: 2, Rotations: 1}
+	xs := ClusterStats{Ready: true, Replicas: 3,
+		Disk: cluster.DiskStats{Entries: 5, Bytes: 2048, MaxBytes: 1 << 28, Puts: 6, Evictions: 1, Corrupt: 2}}
 
 	var buf bytes.Buffer
-	if err := m.WritePrometheus(&buf, cs, as, ls); err != nil {
+	if err := m.WritePrometheus(&buf, cs, as, ls, xs); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,6 +75,18 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 		"armvirt_runlog_appended_total 11",
 		"armvirt_runlog_dropped_total 2",
 		"armvirt_runlog_rotations_total 1",
+		"armvirt_ready 1",
+		"armvirt_cluster_replicas 3",
+		`armvirt_cluster_forwarded_total{peer="r2"} 2`,
+		`armvirt_cluster_forwarded_total{peer="r3"} 1`,
+		`armvirt_cluster_forward_errors_total{peer="r3"} 1`,
+		"armvirt_disk_cache_hits_total 4",
+		"armvirt_disk_cache_entries 5",
+		"armvirt_disk_cache_bytes 2048",
+		"armvirt_disk_cache_max_bytes 268435456",
+		"armvirt_disk_cache_puts_total 6",
+		"armvirt_disk_cache_evictions_total 1",
+		"armvirt_disk_cache_corrupt_total 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
@@ -86,7 +107,7 @@ func TestMetricsPrometheusRendering(t *testing.T) {
 	// A second render with no new observations is byte-identical, so
 	// consecutive scrapes diff clean.
 	var again bytes.Buffer
-	if err := m.WritePrometheus(&again, cs, as, ls); err != nil {
+	if err := m.WritePrometheus(&again, cs, as, ls, xs); err != nil {
 		t.Fatal(err)
 	}
 	if out != again.String() {

@@ -35,9 +35,11 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"armvirt/internal/bench"
+	"armvirt/internal/cluster"
 	"armvirt/internal/core"
 	"armvirt/internal/obs"
 	"armvirt/internal/runlog"
@@ -60,6 +62,10 @@ type Config struct {
 	// a memory-only ledger with runlog's default ring size; pass a
 	// file-backed one (runlog.Open) to persist runs across the process.
 	Ledger *runlog.Ledger
+	// Disk is the disk-backed second cache tier beneath the in-memory
+	// LRU (nil: memory only). With it, a restarted replica serves
+	// previously computed entries without re-running the engine.
+	Disk *cluster.DiskCache
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +95,16 @@ type Server struct {
 	hash  string
 	mux   *http.ServeMux
 
+	// fwd routes cache keys to their owning replica; nil when the
+	// server is not clustered (every key is local).
+	fwd *cluster.Forwarder
+	// disk is the optional second cache tier (also installed on the
+	// cache); kept here for /metrics.
+	disk *cluster.DiskCache
+	// ready is the /readyz answer: true from New until SetReady(false)
+	// or Drain. /healthz stays liveness-only and never flips.
+	ready atomic.Bool
+
 	// fallback instruments requests matching no route, so every request
 	// — routed or not — goes through the single instrument code path.
 	fallback http.Handler
@@ -116,14 +132,20 @@ func New(cfg Config) *Server {
 		met:            NewMetrics(),
 		lg:             lg,
 		hash:           studyHash(),
+		disk:           cfg.Disk,
 		runOne:         core.RunOne,
 		platformBySlug: make(map[string]string),
+	}
+	s.ready.Store(true)
+	if cfg.Disk != nil {
+		s.cache.SetTier(cfg.Disk)
 	}
 	for label := range bench.Factories() {
 		s.platformBySlug[obs.Slug(label)] = label
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
 	s.mux.Handle("GET /v1/experiments/{id}", s.instrument("experiment", s.handleExperiment))
@@ -153,10 +175,34 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
+// SetCluster joins this replica to a consistent-hash replica set:
+// self is this replica's name, peers maps every replica name
+// (including self) to its base URL, vnodes overrides the ring's
+// virtual-node count (<= 0: cluster.DefaultVNodes). Every replica must
+// be configured with the same peer list. Call before serving traffic.
+func (s *Server) SetCluster(self string, peers map[string]string, vnodes int) error {
+	fwd, err := cluster.NewForwarder(self, peers, vnodes)
+	if err != nil {
+		return err
+	}
+	s.fwd = fwd
+	return nil
+}
+
+// SetReady flips the /readyz answer. Flip to false the moment SIGTERM
+// drain begins — before http.Server.Shutdown closes the listener — so
+// a balancer polling /readyz stops routing here while the replica can
+// still answer the poll.
+func (s *Server) SetReady(ok bool) {
+	s.ready.Store(ok)
+}
+
 // Drain stops admitting new engine runs and blocks until the admitted
 // ones finish. Call after http.Server.Shutdown so in-flight handlers
 // observe their runs completing; requests arriving mid-drain get 503.
+// Draining implies not ready.
 func (s *Server) Drain() {
+	s.ready.Store(false)
 	s.adm.Drain()
 }
 

@@ -38,6 +38,9 @@ func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	tr.SetTarget(id+"/timeseries", format)
 	tr.SetPar(par)
 	key := fmt.Sprintf("ts\x00%s\x00%s\x00%s", e.ID, s.hash, format)
+	if s.clusterForward(w, r, tr, key) {
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	sp := tr.Start("cache")
