@@ -16,11 +16,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs go vet plus armvirt-vet, the repo's own analyzer suite
-# (determinism and instrumentation invariants; see DESIGN.md §9).
+# lint runs go vet as the baseline plus armvirt-vet, the repo's own
+# eight-analyzer suite (determinism, instrumentation, and cross-package
+# invariants; see DESIGN.md §9 and §14). -timing prints the per-analyzer
+# cost and -budget fails the target if the whole suite ever gets slow
+# enough to tempt people into skipping it.
+LINT_BUDGET ?= 60s
 lint: vet
 	$(GO) build -o /tmp/armvirt-vet ./cmd/armvirt-vet
-	/tmp/armvirt-vet ./...
+	/tmp/armvirt-vet -timing -budget $(LINT_BUDGET) ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); \

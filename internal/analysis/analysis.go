@@ -17,6 +17,14 @@
 // nil-receiver guards or argument allocation defeating the nil-recorder
 // zero-cost idiom (nilrecorder), and unbalanced Span/EndSpan pairs leaving
 // the profiler's phase tree open (spanbalance).
+//
+// Four more analyzers (DESIGN.md §14) work cross-package, over the
+// Module fact base built once per Run: partition-dispatch code must not
+// write shared package state (partsafe), spawned goroutines that build
+// engines or samplers must bind the goroutine-scoped collectors first
+// (bindcheck), the deterministic/wall-clock import DAG is checked
+// explicitly (layering), and durability errors in cluster/runlog must
+// not be silently dropped (errsink).
 package analysis
 
 import (
@@ -45,6 +53,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module is the cross-package fact base shared by every pass in one
+	// Run: per-function summaries and the static call graph (facts.go).
+	Module *Module
 	// Report receives each diagnostic as it is found.
 	Report func(Diagnostic)
 }
@@ -54,18 +65,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// A Diagnostic is one finding: a position and a message. The driver fills
-// in the analyzer name and resolved position.
-type Diagnostic struct {
-	Pos      token.Pos `json:"-"`
-	Analyzer string    `json:"analyzer"`
-	Position string    `json:"position"` // file:line:col, driver-resolved
-	Message  string    `json:"message"`
+// ReportRange reports a formatted diagnostic covering [pos, end): the end
+// position flows into SARIF regions and the JSON end_position field.
+func (p *Pass) ReportRange(pos, end token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, End: end, Message: fmt.Sprintf(format, args...)})
 }
 
-// Analyzers lists the full suite in stable order.
+// A Diagnostic is one finding: a position (optionally a range) and a
+// message. The driver fills in the analyzer name and resolved positions.
+type Diagnostic struct {
+	Pos token.Pos `json:"-"`
+	// End is the exclusive end of the flagged range; token.NoPos (the
+	// zero value) means the diagnostic is a point at Pos.
+	End      token.Pos `json:"-"`
+	Analyzer string    `json:"analyzer"`
+	Position string    `json:"position"` // file:line:col, driver-resolved
+	// EndPosition is file:line:col of End, empty for point diagnostics.
+	EndPosition string `json:"end_position,omitempty"`
+	Message     string `json:"message"`
+
+	// pos/end keep the resolved positions structured for the SARIF
+	// encoder (region line/column integers).
+	pos, end token.Position
+}
+
+// Analyzers lists the full suite in stable order: the four per-package
+// analyzers from the original suite, then the four cross-package ones.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detclock, Mapiter, Nilrecorder, Spanbalance}
+	return []*Analyzer{
+		Detclock, Mapiter, Nilrecorder, Spanbalance,
+		Partsafe, Bindcheck, Layering, Errsink,
+	}
 }
 
 // --- shared AST/type helpers -------------------------------------------------

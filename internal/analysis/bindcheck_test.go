@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestBindcheckFixtures covers unbound engine and sampler creation
+// (closure and named-function launches), the worker-pool bind idiom,
+// deep binds through helpers, engine-free and dynamic launches, and the
+// //armvirt:unbound waiver.
+func TestBindcheckFixtures(t *testing.T) {
+	runFixtures(t, Bindcheck, "bindcheck")
+}

@@ -14,7 +14,11 @@ import (
 // OUTSIDE the detclock scope, never imported by the deterministic
 // packages — so they must stay clean under the whole analyzer suite
 // with zero armvirt:wallclock escape directives (the wall clock is
-// legal there, not escaped).
+// legal there, not escaped). The suite now includes errsink, which
+// patrols this package's durability paths (the disk tier's atomic
+// write-then-rename), and layering, which pins cluster as wall tier —
+// both must pass without //armvirt:errsink waivers either: swallowed
+// errors are counted (DiskStats.IOErrs), not waived.
 func TestClusterVetClean(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -53,6 +57,10 @@ func TestClusterVetClean(t *testing.T) {
 			}
 			if bytes.Contains(b, []byte("armvirt:wallclock")) {
 				t.Errorf("%s/%s contains an armvirt:wallclock directive; the cluster tier is outside the detclock scope and must not need one",
+					rel, e.Name())
+			}
+			if bytes.Contains(b, []byte("armvirt:errsink")) {
+				t.Errorf("%s/%s contains an armvirt:errsink directive; durability errors here are counted (DiskStats.IOErrs), not waived",
 					rel, e.Name())
 			}
 		}

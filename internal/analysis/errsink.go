@@ -1,0 +1,186 @@
+// errsink: durability operations must not silently drop their errors.
+//
+// The wall tier makes two on-disk promises: the run ledger is append-only
+// and survives rotation (internal/runlog), and the disk cache tier is
+// warm across restarts (internal/cluster). Both are built from the same
+// primitives — write, fsync, close, rename, remove — and both break
+// quietly when one of those calls fails and the error vanishes: a ledger
+// rotation that half-happens, a cache entry whose temp file lingers
+// forever. Unlike a full errcheck, this analyzer is deliberately narrow:
+// it flags only *durability* calls (file close/sync/write, rename,
+// remove, and friends) used as bare statements, in the packages that
+// make durability promises (ErrsinkScope, default cluster and runlog).
+//
+// What counts as handled:
+//
+//   - Using the value at all: `if err := f.Close(); err != nil ...`,
+//     assigning to a variable, or folding into a counter.
+//   - Explicit discard: `_ = f.Close()` is a reviewed decision and is
+//     not flagged (the errcheck convention).
+//   - Close on read-only files: a file obtained from os.Open in the same
+//     function carries no dirty data, so its Close error is meaningless;
+//     `defer f.Close()` on such files is exempt.
+//   - `//armvirt:errsink` on the call's line (or the line above) for
+//     sites where dropping really is the design — pair it with a counted
+//     metric, as DiskCache.ioErrs does.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrsinkScope lists the import-path fragments (same matching as
+// DetclockScope) whose durability calls are checked. The armvirt-vet
+// -errsink.scope flag overrides it.
+var ErrsinkScope = []string{"cluster", "runlog"}
+
+// errsinkOSFuncs are the package-level os functions that mutate the
+// filesystem durably.
+var errsinkOSFuncs = map[string]bool{
+	"Rename": true, "Remove": true, "RemoveAll": true, "Truncate": true,
+	"Chmod": true, "Link": true, "Symlink": true, "Mkdir": true,
+	"MkdirAll": true, "WriteFile": true,
+}
+
+// errsinkFileMethods are the *os.File methods whose error reports whether
+// dirty data reached the disk.
+var errsinkFileMethods = map[string]bool{
+	"Close": true, "Sync": true, "Write": true, "WriteString": true,
+	"WriteAt": true, "Truncate": true,
+}
+
+// Errsink is the dropped-durability-error analyzer.
+var Errsink = &Analyzer{
+	Name: "errsink",
+	Doc: "durability operations (fsync/rename/close/write) in cluster and runlog must not discard their " +
+		"error as a bare statement; handle it, count it, or discard explicitly with _ = (escape: //armvirt:errsink)",
+	Run: runErrsink,
+}
+
+func errsinkInScope(path string) bool {
+	rel := strings.TrimPrefix(path, "armvirt/internal/")
+	for _, s := range ErrsinkScope {
+		if rel == s || strings.HasPrefix(rel, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrsink(pass *Pass) error {
+	if !errsinkInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	suppress := directiveLines(pass.Fset, pass.Files, "errsink")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			readOnly := readOnlyFiles(pass.TypesInfo, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = s.X.(*ast.CallExpr)
+				case *ast.DeferStmt:
+					call = s.Call
+				case *ast.GoStmt:
+					call = s.Call
+				}
+				if call == nil {
+					return true
+				}
+				what, recv := durabilityCall(pass.TypesInfo, call)
+				if what == "" {
+					return true
+				}
+				if recv != nil && readOnly[recv] && strings.HasSuffix(what, ".Close") {
+					return true // Close on an os.Open'd file: nothing dirty to lose
+				}
+				if suppressedAt(suppress, pass.Fset.Position(call.Pos())) {
+					return true
+				}
+				pass.ReportRange(call.Pos(), call.End(),
+					"%s error discarded on a durability path; handle it, fold it into a counter, or discard explicitly with `_ =` (escape: //armvirt:errsink)",
+					what)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// durabilityCall classifies a call as a durability operation: it returns
+// a label like "os.Rename" or "(*os.File).Close" (empty when the call is
+// not one), plus the receiver's root object for Close-exemption matching.
+func durabilityCall(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	// Package-level os functions.
+	if path, name, ok := pkgFunc(info, call.Fun); ok {
+		if path == "os" && errsinkOSFuncs[name] {
+			return "os." + name, nil
+		}
+		return "", nil
+	}
+	// Methods: *os.File (and bufio.Writer.Flush, same contract).
+	recv, sel, ok := isMethodCall(info, call)
+	if !ok {
+		return "", nil
+	}
+	name := sel.Obj().Name()
+	switch {
+	case isNamedIn(info.TypeOf(recv), "File", "os") && errsinkFileMethods[name]:
+		return "(*os.File)." + name, rootObject(info, recv)
+	case isNamedIn(info.TypeOf(recv), "Writer", "bufio") && name == "Flush":
+		return "(*bufio.Writer).Flush", nil
+	}
+	return "", nil
+}
+
+// rootObject resolves the receiver expression to its variable, if simple.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// readOnlyFiles collects variables assigned from os.Open within the
+// function body: files opened read-only, whose Close error is exempt.
+func readOnlyFiles(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgFunc(info, call.Fun)
+		if !ok || path != "os" || name != "Open" {
+			return true
+		}
+		if len(as.Lhs) >= 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

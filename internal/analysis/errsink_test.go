@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+// TestErrsinkFixtures covers the dropped write/sync/close/rename/remove
+// shapes (bare statements and defers), the bufio flush, and the silent
+// cases: handled errors, explicit `_ =` discards, Close on os.Open'd
+// read-only files, and the //armvirt:errsink waiver.
+func TestErrsinkFixtures(t *testing.T) {
+	runFixtures(t, Errsink, "cluster/efix")
+}
+
+// TestErrsinkOutOfScope pins that packages outside the durability scope
+// are ignored: clockfree drops no durability errors, but even if it
+// did, errsink only patrols cluster and runlog.
+func TestErrsinkOutOfScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"armvirt/internal/cluster": true,
+		"armvirt/internal/runlog":  true,
+		"armvirt/internal/serve":   false,
+		"armvirt/internal/sim":     false,
+		"cluster/efix":             true, // fixture paths
+		"clockfree":                false,
+	} {
+		if got := errsinkInScope(path); got != want {
+			t.Errorf("errsinkInScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+// TestPartsafeFixtures covers dispatch-reachable global writes (direct
+// closures, named callbacks, transitive helpers), partition-owned state
+// as the clean shape, host-side writes, and the //armvirt:partshared
+// waiver.
+func TestPartsafeFixtures(t *testing.T) {
+	runFixtures(t, Partsafe, "sim/partsafe")
+}
+
+// TestPartsafeOutOfScope pins that the analyzer ignores packages outside
+// the deterministic scope entirely — wall-tier code writes globals
+// freely.
+func TestPartsafeOutOfScope(t *testing.T) {
+	runFixtures(t, Partsafe, "clockfree")
+}

@@ -7,13 +7,35 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
+
+// A Timing records how long one analyzer took across all packages. The
+// pseudo-entry named "(facts)" is the Module build (call-graph and
+// per-function summaries), which is shared by every analyzer.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
 
 // Run applies each analyzer to each package and returns the diagnostics
 // sorted by position then analyzer name, so output is deterministic
 // regardless of analyzer or package order.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(analyzers, pkgs)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings (in the order the
+// analyzers were given, after the "(facts)" pseudo-entry), for the
+// `armvirt-vet -timing` / `make lint` budget check.
+func RunTimed(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []Timing, error) {
+	start := time.Now()
+	module := NewModule(pkgs)
+	timings := []Timing{{Analyzer: "(facts)", Elapsed: time.Since(start)}}
+
 	var diags []Diagnostic
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -22,16 +44,28 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
+				Module:    module,
 			}
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = a.Name
-				d.Position = pkg.Fset.Position(d.Pos).String()
+				d.pos = pkg.Fset.Position(d.Pos)
+				d.Position = d.pos.String()
+				if d.End.IsValid() {
+					d.end = pkg.Fset.Position(d.End)
+					d.EndPosition = d.end.String()
+				}
 				diags = append(diags, d)
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			t0 := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(t0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Position != diags[j].Position {
@@ -42,7 +76,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // WriteText renders diagnostics one per line in the canonical

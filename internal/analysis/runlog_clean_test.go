@@ -13,7 +13,11 @@ import (
 // internal/runlog is wall-clock-side observability by design, OUTSIDE
 // the detclock scope, so it must stay clean under the whole suite with
 // zero armvirt:wallclock escape directives — the wall clock is legal
-// there, not escaped.
+// there, not escaped. The suite now includes errsink, which patrols the
+// ledger's append/rotate durability paths, and layering, which pins
+// runlog as wall tier — both must pass without //armvirt:errsink
+// waivers either: rotation failures are counted (LedgerStats.WriteErrs),
+// not waived.
 func TestRunlogVetClean(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -50,6 +54,9 @@ func TestRunlogVetClean(t *testing.T) {
 		}
 		if bytes.Contains(b, []byte("armvirt:wallclock")) {
 			t.Errorf("%s contains an armvirt:wallclock directive; runlog is outside the detclock scope and must not need one", e.Name())
+		}
+		if bytes.Contains(b, []byte("armvirt:errsink")) {
+			t.Errorf("%s contains an armvirt:errsink directive; ledger durability errors are counted (LedgerStats.WriteErrs), not waived", e.Name())
 		}
 	}
 }

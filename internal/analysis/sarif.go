@@ -1,0 +1,142 @@
+// Minimal SARIF 2.1.0 encoding of armvirt-vet diagnostics, on nothing
+// but encoding/json, so findings upload straight to GitHub code scanning
+// (`-sarif` on the CLI, the lint artifact in CI).
+//
+// The encoder emits exactly one run with one tool driver; each analyzer
+// in the suite becomes a reportingDescriptor rule (indexed by ruleIndex
+// from the results), and each diagnostic becomes a result with a single
+// physicalLocation whose region carries the diagnostic's resolved start
+// — and, when present, end — line/column. File paths are emitted
+// relative to the given root so the artifact is stable across checkouts
+// (SARIF consumers resolve them against the repository root).
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// The subset of the SARIF 2.1.0 object model armvirt-vet emits. Field
+// names follow the spec's camelCase exactly; structs keep declaration
+// order, which encoding/json preserves, so output is deterministic.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+	EndColumn   int `json:"endColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. root is the
+// directory file paths are made relative to (the repo root); analyzers
+// supplies the rule metadata — every analyzer in the suite is listed as
+// a rule even when it produced no findings, so code-scanning UIs can
+// show the full rule set.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, diags []Diagnostic) error {
+	rules := make([]sarifRule, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules[i] = sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}}
+		index[a.Name] = i
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		region := sarifRegion{StartLine: d.pos.Line, StartColumn: d.pos.Column}
+		if d.end.IsValid() {
+			region.EndLine = d.end.Line
+			region.EndColumn = d.end.Column
+		}
+		ruleIndex := -1
+		if i, ok := index[d.Analyzer]; ok {
+			ruleIndex = i
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(root, d.pos.Filename)},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "armvirt-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a diagnostic's file path relative to root, with
+// forward slashes, as SARIF artifact URIs want.
+func sarifURI(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// sarifFixtureDiags runs errsink over its fixture to get a realistic
+// diagnostic set with end positions.
+func sarifFixtureDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	pkgs := loadFixtures(t, "cluster/efix")
+	diags, err := Run([]*Analyzer{Errsink}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("errsink reported nothing on its positive fixture")
+	}
+	return diags
+}
+
+// TestWriteSARIF pins the encoder: version, tool name, one rule per
+// analyzer (findings or not), one result per diagnostic with a
+// relative-path artifact and a region carrying start and end.
+func TestWriteSARIF(t *testing.T) {
+	diags := sarifFixtureDiags(t)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, wd, Analyzers(), diags); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+							EndLine     int `json:"endLine"`
+							EndColumn   int `json:"endColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "armvirt-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(Analyzers()))
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if r.RuleID != "errsink" || r.Level != "error" {
+			t.Errorf("result %d: ruleId=%q level=%q", i, r.RuleID, r.Level)
+		}
+		if Analyzers()[r.RuleIndex].Name != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not point at %q", i, r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d: locations = %d", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || !strings.HasPrefix(loc.ArtifactLocation.URI, "testdata/src/") {
+			t.Errorf("result %d: artifact URI %q not repo-relative", i, loc.ArtifactLocation.URI)
+		}
+		reg := loc.Region
+		if reg.StartLine <= 0 || reg.StartColumn <= 0 {
+			t.Errorf("result %d: region start missing: %+v", i, reg)
+		}
+		if reg.EndLine < reg.StartLine || (reg.EndLine == reg.StartLine && reg.EndColumn <= reg.StartColumn) {
+			t.Errorf("result %d: region end does not extend the range: %+v", i, reg)
+		}
+	}
+
+	// Deterministic byte-for-byte: the artifact is diffed in CI.
+	var again bytes.Buffer
+	if err := WriteSARIF(&again, wd, Analyzers(), diags); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteSARIF output differs between identical calls")
+	}
+}
+
+// TestJSONShapeStable pins the -json contract: the original three fields
+// keep their names, end_position appears only on ranged diagnostics, and
+// nothing else leaks into the encoding.
+func TestJSONShapeStable(t *testing.T) {
+	diags := sarifFixtureDiags(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if len(rows) != len(diags) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(diags))
+	}
+	for i, row := range rows {
+		for _, key := range []string{"analyzer", "position", "message", "end_position"} {
+			if _, ok := row[key]; !ok {
+				t.Errorf("row %d: missing %q key", i, key)
+			}
+		}
+		if len(row) != 4 {
+			t.Errorf("row %d: unexpected extra fields: %v", i, row)
+		}
+	}
+
+	// An empty set still encodes as [], not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", buf.String())
+	}
+}

@@ -1,0 +1,6 @@
+// Package analysis is the stand-in for the vet implementation itself:
+// layering's third rule says only cmd/armvirt-vet may import it.
+package analysis
+
+// Suite is here so importers have something to reference.
+var Suite = []string{"detclock", "partsafe"}

@@ -1,0 +1,72 @@
+// Package efix exercises the error-sink analyzer: its import path sits
+// under the durability scope ("cluster/..."), so bare-statement
+// durability calls must be flagged, while handled errors, explicit `_ =`
+// discards, Close on read-only files, and //armvirt:errsink waivers stay
+// silent.
+package efix
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// Flush is the write-then-rename shape with every error dropped.
+func Flush(dir string, val []byte) {
+	f, err := os.Create(dir + "/v.tmp")
+	if err != nil {
+		return
+	}
+	f.Write(val)                      // want `\(\*os\.File\)\.Write error discarded on a durability path`
+	f.Sync()                          // want `\(\*os\.File\)\.Sync error discarded on a durability path`
+	f.Close()                         // want `\(\*os\.File\)\.Close error discarded on a durability path`
+	os.Rename(dir+"/v.tmp", dir+"/v") // want `os\.Rename error discarded on a durability path`
+	os.Remove(dir + "/v.bak")         // want `os\.Remove error discarded on a durability path`
+}
+
+// DeferDirty closes a written file in a defer: the flush-on-close error
+// is the one that matters, and it is dropped.
+func DeferDirty(path string, val []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `\(\*os\.File\)\.Close error discarded on a durability path`
+	_, err = f.Write(val)
+	return err
+}
+
+// Buffered drops the flush that carries every buffered write error.
+func Buffered(f *os.File) {
+	w := bufio.NewWriter(f)
+	w.WriteString("x") // buffered: the error surfaces at Flush
+	w.Flush()          // want `\(\*bufio\.Writer\)\.Flush error discarded on a durability path`
+}
+
+// Checked handles the error: silent.
+func Checked(path string) error {
+	return os.Remove(path)
+}
+
+// Explicit discards with `_ =`, the reviewed-decision escape: silent.
+func Explicit(f *os.File) {
+	_ = f.Close()
+}
+
+// ReadOnly closes a file obtained from os.Open: nothing dirty can be
+// lost, so the deferred Close is exempt.
+func ReadOnly(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Waived is the counted-metric shape: the directive documents that the
+// drop is intentional.
+func Waived(path string) {
+	//armvirt:errsink removal failures counted by the caller's sweep
+	os.Remove(path)
+}

@@ -1,0 +1,10 @@
+// Package layerbad sits in the deterministic scope ("sched/...") and
+// imports the wall tier: the layering analyzer's first rule.
+package layerbad
+
+import (
+	"serve" // want `deterministic package sched/layerbad imports wall-tier package serve`
+)
+
+// ListenAddr leaks wall-tier configuration into the engine world.
+func ListenAddr() string { return serve.Addr }

@@ -1,0 +1,16 @@
+// Package deep sits in the wall tier ("serve/...") and reaches into
+// engine internals instead of going through a seam: the layering
+// analyzer's second rule. The sim import is a seam and must stay silent.
+package deep
+
+import (
+	"gic" // want `wall-tier package serve/deep imports engine package gic; go through a seam`
+	"sim"
+)
+
+// Poke touches the device model directly and the engine via its seam.
+func Poke() int64 {
+	e := sim.NewEngine()
+	e.Run()
+	return gic.Stamp()
+}

@@ -1,0 +1,7 @@
+// Package serve is the wall-tier stand-in for layering fixtures: its
+// bare path matches the wall set, so deterministic fixture packages that
+// import it must be flagged.
+package serve
+
+// Addr is here so importers have something to reference.
+var Addr = ":8080"

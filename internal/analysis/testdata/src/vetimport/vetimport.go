@@ -1,0 +1,10 @@
+// Package vetimport imports the vet implementation from outside
+// cmd/armvirt-vet: the layering analyzer's third rule.
+package vetimport
+
+import (
+	"analysis" // want `imports analysis; internal/analysis is importable only by cmd/armvirt-vet`
+)
+
+// Names leaks the analyzer suite out of the vet tool.
+func Names() []string { return analysis.Suite }

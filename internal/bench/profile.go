@@ -38,6 +38,15 @@ type PhaseBreakdownResult struct {
 	Units []PhaseUnit
 }
 
+// TracedOpNames returns the operations the microbenchmark tracer accepts
+// (a copy of micro.TracedOps, in its canonical order). It exists as the
+// bench-seam re-export for wall-tier callers: the serving tier validates
+// op names against it without importing engine internals (the layering
+// analyzer enforces that boundary).
+func TracedOpNames() []string {
+	return append([]string(nil), micro.TracedOps...)
+}
+
 // RunPhaseBreakdowns profiles each op (default micro.TracedOps) on each
 // platform (default the paper's four). parallelism bounds concurrent
 // units (< 1 = serial); every unit builds a private platform, and results

@@ -24,6 +24,10 @@ type DiskStats struct {
 	// and removed because their header, length, or checksum did not
 	// verify (torn writes, truncation, bit rot).
 	Hits, Misses, Puts, Evictions, Corrupt int64
+	// IOErrs counts filesystem operations that failed on the
+	// swallowed-error paths (temp-file cleanup, entry removal): the disk
+	// tier stays an optimization, but the failures are observable.
+	IOErrs int64
 }
 
 // dheader is the first line of every cache file: enough to rebuild the
@@ -61,7 +65,16 @@ type DiskCache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses, puts, evictions, corrupt int64
+	hits, misses, puts, evictions, corrupt, ioErrs int64
+}
+
+// removeCounted deletes a file, folding failure into the ioErrs counter:
+// a failed removal leaks bytes but never corrupts data, so it is counted
+// rather than fatal. Called with d.mu held (or before d is published).
+func (d *DiskCache) removeCounted(path string) {
+	if err := os.Remove(path); err != nil {
+		d.ioErrs++
+	}
 }
 
 // cacheExt marks complete cache files; temp files use tmpPrefix and are
@@ -104,7 +117,7 @@ func OpenDisk(dir string, maxBytes int64) (*DiskCache, error) {
 			continue
 		}
 		if strings.HasPrefix(name, tmpPrefix) {
-			os.Remove(filepath.Join(dir, name)) // torn write from a crash
+			d.removeCounted(filepath.Join(dir, name)) // torn write from a crash
 			continue
 		}
 		if !strings.HasSuffix(name, cacheExt) {
@@ -113,7 +126,7 @@ func OpenDisk(dir string, maxBytes int64) (*DiskCache, error) {
 		path := filepath.Join(dir, name)
 		hdr, size, ok := readHeader(path)
 		if !ok {
-			os.Remove(path)
+			d.removeCounted(path)
 			d.corrupt++
 			continue
 		}
@@ -245,7 +258,8 @@ func (d *DiskCache) readVerifyLocked(e *dentry) ([]byte, bool) {
 // rename over the final name. Values larger than the budget are
 // dropped; eviction restores the budget afterwards. Errors are
 // swallowed — the disk tier is an optimization, never a correctness
-// dependency.
+// dependency — but counted in DiskStats.IOErrs so a failing disk is
+// visible in the metrics.
 func (d *DiskCache) Put(key string, val []byte) {
 	if d == nil {
 		return
@@ -264,6 +278,7 @@ func (d *DiskCache) Put(key string, val []byte) {
 	defer d.mu.Unlock()
 	tmp, err := os.CreateTemp(d.dir, tmpPrefix+"*")
 	if err != nil {
+		d.ioErrs++
 		return
 	}
 	_, werr := tmp.Write(hdr)
@@ -277,12 +292,14 @@ func (d *DiskCache) Put(key string, val []byte) {
 		werr = cerr
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		d.ioErrs++
+		d.removeCounted(tmp.Name())
 		return
 	}
 	file := fileFor(key)
 	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, file)); err != nil {
-		os.Remove(tmp.Name())
+		d.ioErrs++
+		d.removeCounted(tmp.Name())
 		return
 	}
 	if el, ok := d.items[key]; ok {
@@ -320,7 +337,7 @@ func (d *DiskCache) dropLocked(el *list.Element) {
 	d.ll.Remove(el)
 	delete(d.items, e.key)
 	d.cur -= e.size
-	os.Remove(filepath.Join(d.dir, e.file))
+	d.removeCounted(filepath.Join(d.dir, e.file))
 }
 
 // Stats returns a snapshot of the disk-tier counters; zeros on nil.
@@ -333,6 +350,6 @@ func (d *DiskCache) Stats() DiskStats {
 	return DiskStats{
 		Entries: len(d.items), Bytes: d.cur, MaxBytes: d.max,
 		Hits: d.hits, Misses: d.misses, Puts: d.puts,
-		Evictions: d.evictions, Corrupt: d.corrupt,
+		Evictions: d.evictions, Corrupt: d.corrupt, IOErrs: d.ioErrs,
 	}
 }

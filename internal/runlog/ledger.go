@@ -50,7 +50,9 @@ type LedgerStats struct {
 	Bytes, MaxBytes int64
 	// Appended counts entries ever appended; Dropped counts ring
 	// evictions; Rotations counts file generation rollovers; WriteErrs
-	// counts failed file writes (entries stay queryable in the ring).
+	// counts failed durability operations — appends, and the close/
+	// rename/reopen steps of rotation (entries stay queryable in the
+	// ring either way).
 	Appended, Dropped, Rotations, WriteErrs int64
 }
 
@@ -86,7 +88,7 @@ func Open(path string, maxBytes int64, keep int) (*Ledger, error) {
 		}
 		st, err := f.Stat()
 		if err != nil {
-			f.Close()
+			_ = f.Close() // nothing written yet; the stat error is the one to report
 			return nil, fmt.Errorf("runlog: stat ledger: %w", err)
 		}
 		l.f, l.size = f, st.Size()
@@ -145,10 +147,18 @@ func (l *Ledger) Append(e *Entry) {
 }
 
 // rotateLocked rolls the current file generation to <path>.1 and starts
-// a fresh one. Called with l.mu held.
+// a fresh one. Each step is best-effort — a fresh file follows either
+// way — but a failed close (buffered lines may not have reached disk) or
+// a failed rename (the old generation is overwritten, not preserved) is
+// folded into writeErrs so rotation trouble shows up in LedgerStats.
+// Called with l.mu held.
 func (l *Ledger) rotateLocked() {
-	l.f.Close()
-	os.Rename(l.path, l.path+".1") // best-effort; a fresh file follows either way
+	if err := l.f.Close(); err != nil {
+		l.writeErrs++
+	}
+	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		l.writeErrs++
+	}
 	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		l.f, l.size = nil, 0

@@ -17,7 +17,6 @@ import (
 	"armvirt/internal/cliutil"
 	"armvirt/internal/cluster"
 	"armvirt/internal/core"
-	"armvirt/internal/micro"
 	"armvirt/internal/runlog"
 	"armvirt/internal/sim"
 )
@@ -341,8 +340,8 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	op := r.PathValue("op")
-	if !slices.Contains(micro.TracedOps, op) {
-		http.Error(w, fmt.Sprintf("unknown op %q (choose one of %s)", op, strings.Join(micro.TracedOps, ", ")),
+	if tracedOps := bench.TracedOpNames(); !slices.Contains(tracedOps, op) {
+		http.Error(w, fmt.Sprintf("unknown op %q (choose one of %s)", op, strings.Join(tracedOps, ", ")),
 			http.StatusNotFound)
 		return
 	}

@@ -211,6 +211,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, cs CacheStats, as AdmissionStats,
 	p("# HELP armvirt_disk_cache_corrupt_total Disk-tier files skipped and removed as corrupt.\n")
 	p("# TYPE armvirt_disk_cache_corrupt_total counter\n")
 	p("armvirt_disk_cache_corrupt_total %d\n", xs.Disk.Corrupt)
+	p("# HELP armvirt_disk_cache_io_errors_total Disk-tier filesystem operations that failed on swallowed-error paths.\n")
+	p("# TYPE armvirt_disk_cache_io_errors_total counter\n")
+	p("armvirt_disk_cache_io_errors_total %d\n", xs.Disk.IOErrs)
 
 	p("# HELP armvirt_cluster_replicas Replica-set size on the consistent-hash ring (0 = not clustered).\n")
 	p("# TYPE armvirt_cluster_replicas gauge\n")
